@@ -1,0 +1,40 @@
+//! Regenerates Figure 1 (system performance history) and benchmarks the
+//! daily aggregation plus a short end-to-end campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2_bench::bench_system;
+use sp2_cluster::{run_campaign, ClusterConfig};
+use sp2_core::experiments::fig1;
+use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+fn bench(c: &mut Criterion) {
+    let mut sys = bench_system();
+    let campaign = sys.campaign();
+    let f = fig1::run(campaign);
+    println!(
+        "Figure 1: mean {:.2} Gflops, util {:.0}%, max day {:.2}, max 15-min {:.2}",
+        f.mean_gflops,
+        f.mean_utilization * 100.0,
+        f.max_daily_gflops,
+        f.max_15min_gflops
+    );
+    c.bench_function("fig1/analysis", |b| b.iter(|| fig1::run(campaign)));
+
+    // End-to-end: a 3-day campaign through PBS + daemon + paging.
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 1998);
+    let spec = CampaignSpec {
+        days: 3,
+        ..Default::default()
+    };
+    let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("campaign_3day", |b| {
+        b.iter(|| run_campaign(&config, &library, &jobs, spec.days))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 4 (16-node performance histories) and benchmarks
+//! the history extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2_bench::bench_system;
+use sp2_core::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let mut sys = bench_system();
+    let campaign = sys.campaign();
+    let f = fig4::run(campaign);
+    println!(
+        "Figure 4: {} 16-node jobs, mean {:.0} Mflops, std {:.0}, trend {:+.3}/job",
+        f.points.len(),
+        f.mean,
+        f.std,
+        f.trend_mflops_per_job
+    );
+    c.bench_function("fig4/analysis", |b| b.iter(|| fig4::run(campaign)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

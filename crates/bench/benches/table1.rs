@@ -1,0 +1,17 @@
+//! Regenerates Table 1 (the NAS counter selection) and benchmarks the
+//! selection validation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2_core::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let t = table1::run();
+    println!("{}", t.render());
+    c.bench_function("table1/regenerate", |b| b.iter(table1::run));
+    c.bench_function("table1/selection_build", |b| {
+        b.iter(sp2_hpm::nas_selection)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

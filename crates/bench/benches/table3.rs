@@ -1,0 +1,16 @@
+//! Regenerates Table 3 (the full per-unit rate breakdown) and benchmarks
+//! its aggregation over the campaign samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp2_bench::bench_system;
+use sp2_core::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let mut sys = bench_system();
+    let campaign = sys.campaign();
+    println!("{}", table3::run(campaign).render());
+    c.bench_function("table3/analysis", |b| b.iter(|| table3::run(campaign)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

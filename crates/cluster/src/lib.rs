@@ -1,0 +1,29 @@
+//! Discrete-event simulation of the 144-node NAS SP2.
+//!
+//! Ties every substrate together: jobs arrive from the workload trace,
+//! PBS allocates dedicated nodes, each node's HPM counters advance at the
+//! rates its job's *measured* kernel signature prescribes, halo exchanges
+//! cross the High Performance Switch and land in DMA counters, memory
+//! oversubscription invokes the measured page-fault-handler signature in
+//! system mode, the RS2HPM daemon samples all nodes every 15 minutes, and
+//! PBS prologue/epilogue hooks snapshot per-job counters.
+//!
+//! The output ([`result::CampaignResult`]) contains exactly the datasets
+//! the paper's evaluation is built from:
+//!
+//! - the daemon's 15-minute [`sp2_rs2hpm::SystemSample`] trace → Figure 1,
+//!   Tables 2–3 (daily filtering), the 5.7 Gflops peak-interval stat;
+//! - per-job [`sp2_rs2hpm::JobCounterReport`]s → Figures 3, 4, 5;
+//! - PBS accounting records → Figure 2 and the utilization series.
+
+pub mod activity;
+pub mod paging;
+pub mod result;
+pub mod sim;
+pub mod state;
+
+pub use activity::ActivityPlan;
+pub use paging::PagingModel;
+pub use result::CampaignResult;
+pub use sim::{run_campaign, ClusterConfig};
+pub use state::NodeState;

@@ -1,0 +1,135 @@
+//! Per-node counter state with lazy advancement.
+
+use crate::activity::ActivityPlan;
+use sp2_hpm::{CounterSelection, CounterSnapshot, Hpm, Mode};
+
+/// One SP2 node's monitor plus its current activity.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    hpm: Hpm,
+    activity: Option<ActivityPlan>,
+    last_advance_t: f64,
+}
+
+impl NodeState {
+    /// Creates an idle node at time 0 with the given counter selection.
+    pub fn new(selection: CounterSelection) -> Self {
+        NodeState {
+            hpm: Hpm::new(selection),
+            activity: None,
+            last_advance_t: 0.0,
+        }
+    }
+
+    /// Advances counters to time `t`, absorbing events at the current
+    /// activity's rates over the elapsed interval. Idempotent for equal
+    /// `t`; `t` may never go backwards.
+    pub fn advance(&mut self, t: f64) {
+        assert!(
+            t >= self.last_advance_t - 1e-9,
+            "time went backwards: {t} < {}",
+            self.last_advance_t
+        );
+        let dt = t - self.last_advance_t;
+        if dt <= 0.0 {
+            return;
+        }
+        if let Some(plan) = &self.activity {
+            let user = plan.user_events(dt) + plan.dma_events(dt);
+            let system = plan.system_events(dt) + plan.io_wait_events(dt);
+            self.hpm.absorb(&user, Mode::User);
+            self.hpm.absorb(&system, Mode::System);
+        }
+        self.last_advance_t = t;
+    }
+
+    /// Installs a new activity (advancing to `t` first).
+    pub fn set_activity(&mut self, t: f64, plan: Option<ActivityPlan>) {
+        self.advance(t);
+        self.activity = plan;
+    }
+
+    /// The current activity, if any.
+    pub fn activity(&self) -> Option<&ActivityPlan> {
+        self.activity.as_ref()
+    }
+
+    /// Snapshots the monitor as of time `t`.
+    pub fn snapshot_at(&mut self, t: f64) -> CounterSnapshot {
+        self.advance(t);
+        self.hpm.snapshot()
+    }
+
+    /// Read-only access to the monitor (for daemon sampling after an
+    /// explicit advance).
+    pub fn hpm(&self) -> &Hpm {
+        &self.hpm
+    }
+
+    /// Last time this node's counters were advanced.
+    pub fn last_advance(&self) -> f64 {
+        self.last_advance_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::PagingModel;
+    use sp2_hpm::nas_selection;
+    use sp2_power2::handler::daemon_sample_signature;
+    use sp2_power2::MachineConfig;
+
+    fn idle_plan() -> ActivityPlan {
+        let cfg = MachineConfig::nas_sp2();
+        ActivityPlan::idle(&daemon_sample_signature(&cfg), &PagingModel::default())
+    }
+
+    #[test]
+    fn idle_node_counters_stay_zero_without_activity() {
+        let mut n = NodeState::new(nas_selection());
+        n.advance(900.0);
+        let s = n.snapshot_at(900.0);
+        assert!(s.user.iter().all(|&c| c == 0));
+        assert!(s.system.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn activity_accumulates_over_time() {
+        let mut n = NodeState::new(nas_selection());
+        n.set_activity(0.0, Some(idle_plan()));
+        let a = n.snapshot_at(900.0);
+        let b = n.snapshot_at(1800.0);
+        let total_a: u64 = a.system.iter().copied().sum();
+        let total_b: u64 = b.system.iter().copied().sum();
+        assert!(total_b > total_a);
+        assert!(total_a > 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut n = NodeState::new(nas_selection());
+        n.set_activity(0.0, Some(idle_plan()));
+        let a = n.snapshot_at(500.0);
+        let b = n.snapshot_at(500.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_reversal_rejected() {
+        let mut n = NodeState::new(nas_selection());
+        n.advance(100.0);
+        n.advance(50.0);
+    }
+
+    #[test]
+    fn clearing_activity_stops_accumulation() {
+        let mut n = NodeState::new(nas_selection());
+        n.set_activity(0.0, Some(idle_plan()));
+        n.set_activity(900.0, None);
+        let a = n.snapshot_at(900.0);
+        let b = n.snapshot_at(1800.0);
+        assert_eq!(a, b);
+    }
+}

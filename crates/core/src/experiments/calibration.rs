@@ -1,0 +1,140 @@
+//! §5 calibration points: the single-processor reference measurements
+//! the paper anchors its analysis on.
+
+use crate::render;
+use serde::{Deserialize, Serialize};
+use sp2_hpm::Signal;
+use sp2_power2::{measure_on_fresh_node, MachineConfig};
+use sp2_workload::kernels::{
+    blocked_matmul_kernel, cfd_kernel, naive_matmul_kernel, seqaccess_kernel, CfdKernelParams,
+};
+
+/// One calibration measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// Kernel name.
+    pub name: String,
+    /// Achieved Mflops.
+    pub mflops: f64,
+    /// Achieved Mips.
+    pub mips: f64,
+    /// flops per storage-reference instruction.
+    pub flops_per_memref: f64,
+    /// FPU0/FPU1 instruction ratio.
+    pub fpu0_fpu1_ratio: f64,
+    /// Cache-miss ratio (misses / FXU instructions).
+    pub cache_miss_ratio: f64,
+    /// TLB-miss ratio.
+    pub tlb_miss_ratio: f64,
+}
+
+/// The regenerated §5 calibration set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Peak Mflops of the machine (267 at 66.7 MHz).
+    pub peak_mflops: f64,
+    /// The measured points.
+    pub points: Vec<CalibrationPoint>,
+}
+
+fn measure(name: &str, kernel: &sp2_isa::Kernel, machine: &MachineConfig, seed: u64) -> CalibrationPoint {
+    let sig = measure_on_fresh_node(kernel, machine, seed);
+    let fxu = sig.events.fxu_total().max(1) as f64;
+    let memrefs = sig.events.get(Signal::StorageRefs).max(1) as f64;
+    CalibrationPoint {
+        name: name.to_string(),
+        mflops: sig.mflops(),
+        mips: sig.mips(),
+        flops_per_memref: sig.events.flops_total() as f64 / memrefs,
+        fpu0_fpu1_ratio: sig.events.get(Signal::Fpu0Exec) as f64
+            / sig.events.get(Signal::Fpu1Exec).max(1) as f64,
+        cache_miss_ratio: sig.events.get(Signal::DcacheMiss) as f64 / fxu,
+        tlb_miss_ratio: sig.events.get(Signal::TlbMiss) as f64 / fxu,
+    }
+}
+
+/// Runs all §5 calibration kernels on a fresh NAS node.
+pub fn run(machine: &MachineConfig) -> Calibration {
+    let iters = 40_000;
+    Calibration {
+        peak_mflops: machine.peak_mflops(),
+        points: vec![
+            measure("blocked-matmul", &blocked_matmul_kernel(iters), machine, 1),
+            measure("naive-matmul", &naive_matmul_kernel(iters), machine, 2),
+            measure(
+                "cfd-workload-avg",
+                &cfd_kernel("cfd-avg", &CfdKernelParams::default(), iters),
+                machine,
+                3,
+            ),
+            measure(
+                "npb-bt-like",
+                &cfd_kernel("bt", &CfdKernelParams::npb_bt(), iters),
+                machine,
+                4,
+            ),
+            measure("seq-access", &seqaccess_kernel(4 * iters), machine, 5),
+        ],
+    }
+}
+
+impl Calibration {
+    /// Finds a point by name.
+    pub fn point(&self, name: &str) -> Option<&CalibrationPoint> {
+        self.points.iter().find(|p| p.name == name)
+    }
+
+    /// Renders the calibration table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    render::num(p.mflops, 1, 7),
+                    render::num(p.mips, 1, 7),
+                    render::num(p.flops_per_memref, 2, 6),
+                    render::num(p.fpu0_fpu1_ratio, 2, 6),
+                    format!("{:.2}%", p.cache_miss_ratio * 100.0),
+                    format!("{:.3}%", p.tlb_miss_ratio * 100.0),
+                ]
+            })
+            .collect();
+        let mut out = render::table(
+            "Calibration: single-processor reference kernels (paper §5)",
+            &["kernel", "Mflops", "Mips", "f/mem", "FPU0/1", "cmiss", "tlbmiss"],
+            &rows,
+        );
+        out.push_str(&format!("machine peak: {:.0} Mflops\n", self.peak_mflops));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_papers_anchors() {
+        let machine = MachineConfig::nas_sp2();
+        let c = run(&machine);
+        let mm = c.point("blocked-matmul").unwrap();
+        // "approximately 240 Mflops on the 67 Mhz POWER2".
+        assert!((210.0..268.0).contains(&mm.mflops), "matmul {:.0}", mm.mflops);
+        // "the high performance matrix multiply displays a value of 3.0".
+        assert!((2.5..3.6).contains(&mm.flops_per_memref));
+        // Workload kernel ≈ 17 Mflops, ratio ≈ 0.5, FPU0/FPU1 ≈ 1.7.
+        let cfd = c.point("cfd-workload-avg").unwrap();
+        assert!((12.0..26.0).contains(&cfd.mflops), "cfd {:.1}", cfd.mflops);
+        assert!(cfd.flops_per_memref < 1.2);
+        assert!((1.2..3.2).contains(&cfd.fpu0_fpu1_ratio));
+        // Naive matmul is the memory-bound baseline the blocking beats.
+        let nm = c.point("naive-matmul").unwrap();
+        assert!(mm.mflops > 3.0 * nm.mflops);
+        // Peak.
+        assert!((c.peak_mflops - 266.8).abs() < 1.0);
+        let text = c.render();
+        assert!(text.contains("blocked-matmul"));
+    }
+}

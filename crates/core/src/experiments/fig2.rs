@@ -1,0 +1,75 @@
+//! Figure 2: batch-job walltime as a function of nodes requested.
+
+use crate::experiments::BATCH_MIN_WALLTIME_S;
+use crate::render;
+use serde::{Deserialize, Serialize};
+use sp2_cluster::CampaignResult;
+use sp2_pbs::walltime_histogram;
+
+/// The regenerated Figure 2 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// `(nodes_requested, total_walltime_seconds)` for nonzero bins.
+    pub bars: Vec<(usize, f64)>,
+    /// The modal node count (paper: 16).
+    pub mode_nodes: Option<usize>,
+    /// The top three node counts by walltime (paper: 16, 32, 8).
+    pub top3: Vec<usize>,
+    /// Fraction of walltime consumed by jobs requesting > 64 nodes
+    /// (paper: "essentially no wall clock time").
+    pub fraction_above_64: f64,
+}
+
+/// Regenerates Figure 2 from PBS accounting.
+pub fn run(campaign: &CampaignResult) -> Fig2 {
+    let h = walltime_histogram(&campaign.pbs_records, 144, BATCH_MIN_WALLTIME_S);
+    Fig2 {
+        bars: h.nonzero().collect(),
+        mode_nodes: h.mode(),
+        top3: h.top_k(3).into_iter().map(|(n, _)| n).collect(),
+        fraction_above_64: h.fraction_above(64),
+    }
+}
+
+impl Fig2 {
+    /// Renders the histogram.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .bars
+            .iter()
+            .map(|&(n, w)| vec![n.to_string(), format!("{w:.0}")])
+            .collect();
+        let mut out = render::table(
+            "Figure 2: Batch Job Walltime as a Function of Nodes Requested (jobs > 600 s)",
+            &["nodes", "walltime_s"],
+            &rows,
+        );
+        out.push_str(&format!(
+            "top-3 node counts by walltime: {:?}; fraction above 64 nodes: {:.1} %\n",
+            self.top3,
+            self.fraction_above_64 * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Sp2System;
+
+    #[test]
+    fn moderately_parallel_jobs_dominate() {
+        let mut sys = Sp2System::nas_1996(20);
+        let f = run(sys.campaign());
+        assert_eq!(f.mode_nodes, Some(16), "16 nodes is the paper's mode");
+        assert!(
+            f.fraction_above_64 < 0.1,
+            ">64-node jobs consume almost no walltime ({:.3})",
+            f.fraction_above_64
+        );
+        assert!(f.top3.contains(&16));
+        let text = f.render();
+        assert!(text.contains("nodes"));
+    }
+}

@@ -1,0 +1,24 @@
+//! One runner per table and figure of the paper's evaluation.
+//!
+//! Each module exposes `run(...)` returning a serializable dataset with a
+//! `render()` method that prints the same rows/series the paper reports.
+//! The DESIGN.md experiment index maps each to its bench target.
+
+pub mod calibration;
+pub mod iowait;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// The day-rate threshold (Gflops) that defines the paper's "good day"
+/// subset for Tables 2–3: "days with performance exceeding 2.0 Gflops".
+pub const GOOD_DAY_GFLOPS: f64 = 2.0;
+
+/// The paper's batch filter: jobs exceeding 600 s of wall clock.
+pub const BATCH_MIN_WALLTIME_S: f64 = 600.0;

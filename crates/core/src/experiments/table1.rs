@@ -1,0 +1,54 @@
+//! Table 1: the NAS SP2 RS2HPM counter selection.
+
+use crate::render;
+use serde::{Deserialize, Serialize};
+use sp2_hpm::config::{table1_rows, Table1Row};
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per configured counter slot.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Regenerates Table 1 from the counter configuration itself.
+pub fn run() -> Table1 {
+    Table1 { rows: table1_rows() }
+}
+
+impl Table1 {
+    /// Renders the table as the paper prints it (with the corrected TLB
+    /// description; see DESIGN.md §6).
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![r.counter.clone(), r.label.clone(), r.description.clone()])
+            .collect();
+        render::table(
+            "Table 1: NAS SP2 RS2HPM Counters",
+            &["Counter", "Label", "Description"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_22_slots() {
+        let t = run();
+        assert_eq!(t.rows.len(), 22);
+    }
+
+    #[test]
+    fn render_contains_key_rows() {
+        let text = run().render();
+        assert!(text.contains("user.fxu0"));
+        assert!(text.contains("FPU1[4]"));
+        assert!(text.contains("user.dma_write"));
+        assert!(text.contains("castouts"));
+    }
+}

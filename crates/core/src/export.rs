@@ -1,0 +1,52 @@
+//! JSON artifact export for regenerated experiments.
+//!
+//! Every experiment runner can persist its dataset so EXPERIMENTS.md
+//! entries are regenerable and diffable. Artifacts land in
+//! `target/experiments/` by default; override with `SP2_EXPERIMENTS_DIR`.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiments write their JSON artifacts into.
+pub fn artifacts_dir() -> PathBuf {
+    std::env::var_os("SP2_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Serializes `data` to `<artifacts_dir>/<name>.json`, creating the
+/// directory as needed. Returns the written path.
+pub fn write_json<T: Serialize>(name: &str, data: &T) -> std::io::Result<PathBuf> {
+    let dir = artifacts_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = fs::File::create(&path)?;
+    let body = serde_json::to_string_pretty(data).map_err(std::io::Error::other)?;
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Demo {
+        x: u32,
+    }
+
+    #[test]
+    fn writes_json_artifact() {
+        let dir = std::env::temp_dir().join(format!("sp2-export-test-{}", std::process::id()));
+        std::env::set_var("SP2_EXPERIMENTS_DIR", &dir);
+        let path = write_json("demo", &Demo { x: 7 }).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x\": 7"));
+        std::env::remove_var("SP2_EXPERIMENTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,37 @@
+//! Facade for the SP2 HPM reproduction.
+//!
+//! [`Sp2System`] wires the substrates together — the POWER2 node model,
+//! the HPM, the RS2HPM tool chain, PBS, the switch, and the synthetic NAS
+//! workload — and exposes one runner per table and figure of the paper's
+//! evaluation:
+//!
+//! | Experiment | Runner | Paper content |
+//! |---|---|---|
+//! | Table 1 | [`experiments::table1`] | the NAS 22-counter selection |
+//! | Table 2 | [`experiments::table2`] | Mips/Mops/Mflops, good days |
+//! | Table 3 | [`experiments::table3`] | full rate breakdown |
+//! | Table 4 | [`experiments::table4`] | hierarchical memory performance |
+//! | Figure 1 | [`experiments::fig1`] | daily Gflops + utilization history |
+//! | Figure 2 | [`experiments::fig2`] | walltime vs nodes requested |
+//! | Figure 3 | [`experiments::fig3`] | Mflops/node vs nodes requested |
+//! | Figure 4 | [`experiments::fig4`] | 16-node performance history |
+//! | Figure 5 | [`experiments::fig5`] | performance vs system intervention |
+//! | §5 calibration | [`experiments::calibration`] | 240 Mflops matmul etc. |
+//!
+//! ```no_run
+//! use sp2_core::Sp2System;
+//!
+//! let mut system = Sp2System::nas_1996(30); // 30-day campaign
+//! let fig1 = sp2_core::experiments::fig1::run(system.campaign());
+//! println!("{}", fig1.render());
+//! ```
+
+pub mod experiments;
+pub mod export;
+pub mod plot;
+pub mod render;
+pub mod system;
+
+pub use sp2_cluster::{CampaignResult, ClusterConfig};
+pub use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
+pub use system::Sp2System;

@@ -1,0 +1,166 @@
+//! Terminal plots for the paper's figures.
+//!
+//! The original figures are scatter/line plots; these render the same
+//! series as ASCII so `cargo run --example campaign` shows the shapes
+//! (Figure 1's history, Figure 3's collapse, Figure 5's decline) without
+//! leaving the terminal.
+
+/// Renders a scatter/line plot of `(x, y)` points in a `width × height`
+/// character grid, with axis annotations.
+pub fn scatter(
+    title: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    marker: char,
+) -> String {
+    assert!(width >= 8 && height >= 3, "plot area too small");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy.min(height - 1);
+        grid[row][cx.min(width - 1)] = marker;
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y1:>9.2} |")
+        } else if i == height - 1 {
+            format!("{y0:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9}  {}", "", "-".repeat(width)));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>9}  {:<w$.2}{:>r$.2}\n",
+        "",
+        x0,
+        x1,
+        w = width.saturating_sub(8),
+        r = 8
+    ));
+    out
+}
+
+/// Overlays a second series (e.g. a moving average) on the same grid as
+/// [`scatter`], using two markers.
+pub fn scatter2(
+    title: &str,
+    a: &[(f64, f64)],
+    b: &[(f64, f64)],
+    width: usize,
+    height: usize,
+) -> String {
+    // Render on a shared scale by merging the point clouds first.
+    let mut all: Vec<(f64, f64)> = a.to_vec();
+    all.extend_from_slice(b);
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let mut put = |pts: &[(f64, f64)], m: char| {
+        for &(x, y) in pts {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = m;
+        }
+    };
+    put(a, '.');
+    put(b, '*');
+    let mut out = String::new();
+    out.push_str(title);
+    out.push_str("   ('.' points, '*' overlay)\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y1:>9.2} |")
+        } else if i == height - 1 {
+            format!("{y0:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9}  {}\n", "", "-".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_places_extremes() {
+        let p = scatter("T", &[(0.0, 0.0), (10.0, 5.0)], 20, 5, 'o');
+        assert!(p.starts_with("T\n"));
+        // Max-y row carries the high point, min-y row the low one.
+        let lines: Vec<&str> = p.lines().collect();
+        assert!(lines[1].contains('o'), "top row has the max point");
+        assert!(lines[5].contains('o'), "bottom row has the min point");
+        assert!(p.contains("5.00"));
+        assert!(p.contains("0.00"));
+    }
+
+    #[test]
+    fn scatter_empty_and_degenerate() {
+        assert!(scatter("E", &[], 20, 5, 'x').contains("(no data)"));
+        // A single point must not divide by zero.
+        let p = scatter("S", &[(3.0, 7.0)], 20, 5, 'x');
+        assert!(p.contains('x'));
+    }
+
+    #[test]
+    fn scatter2_overlays_markers() {
+        let p = scatter2("O", &[(0.0, 1.0)], &[(1.0, 2.0)], 20, 5);
+        assert!(p.contains('.'));
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot area too small")]
+    fn tiny_plot_rejected() {
+        scatter("t", &[(0.0, 0.0)], 4, 2, 'x');
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text rendering of tables and figure series.
+
+/// Formats a floating value with `dec` decimals, right-aligned to `w`.
+pub fn num(v: f64, dec: usize, w: usize) -> String {
+    format!("{v:>w$.dec$}")
+}
+
+/// Renders an aligned text table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row arity mismatch in '{title}'");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as aligned columns (figure data).
+pub fn series(title: &str, x_label: &str, y_labels: &[&str], points: &[(f64, Vec<f64>)]) -> String {
+    let mut headers = vec![x_label];
+    headers.extend_from_slice(y_labels);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, ys)| {
+            let mut r = vec![format!("{x:.2}")];
+            r.extend(ys.iter().map(|y| format!("{y:.3}")));
+            r
+        })
+        .collect();
+    table(title, &headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            "T",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("T\n"));
+        assert!(t.contains("a    bbbb"));
+        assert!(t.contains("333"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        table("x", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let s = series("S", "day", &["gflops"], &[(0.0, vec![1.25]), (1.0, vec![2.5])]);
+        assert!(s.contains("day"));
+        assert!(s.contains("1.250"));
+        assert!(s.contains("2.500"));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(17.36, 1, 6), "  17.4");
+    }
+}

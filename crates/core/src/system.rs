@@ -1,0 +1,106 @@
+//! System assembly and campaign caching.
+
+use sp2_cluster::{run_campaign, CampaignResult, ClusterConfig};
+use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+/// The assembled NAS SP2 measurement system.
+///
+/// Owns the cluster configuration, the measured workload library, the
+/// job-mix model, and the campaign spec; lazily runs and caches the
+/// campaign so several experiments can share one simulation.
+pub struct Sp2System {
+    config: ClusterConfig,
+    library: WorkloadLibrary,
+    mix: JobMix,
+    spec: CampaignSpec,
+    campaign: Option<CampaignResult>,
+}
+
+impl Sp2System {
+    /// The paper's configuration: 144 nodes, NAS counter selection, NAS
+    /// job mix, with a campaign of `days` days (270 in the paper; shorter
+    /// for quick runs).
+    pub fn nas_1996(days: u32) -> Self {
+        let config = ClusterConfig::default();
+        let library = WorkloadLibrary::build(&config.machine, 1998);
+        Sp2System {
+            config,
+            library,
+            mix: JobMix::nas(),
+            spec: CampaignSpec {
+                days,
+                ..Default::default()
+            },
+            campaign: None,
+        }
+    }
+
+    /// Builds a system with every component explicit (ablations).
+    pub fn custom(
+        config: ClusterConfig,
+        library: WorkloadLibrary,
+        mix: JobMix,
+        spec: CampaignSpec,
+    ) -> Self {
+        Sp2System {
+            config,
+            library,
+            mix,
+            spec,
+            campaign: None,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The measured workload library.
+    pub fn library(&self) -> &WorkloadLibrary {
+        &self.library
+    }
+
+    /// The campaign spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs (or returns the cached) campaign.
+    pub fn campaign(&mut self) -> &CampaignResult {
+        if self.campaign.is_none() {
+            let jobs = trace::generate(&self.spec, &self.mix, &self.library);
+            let result = run_campaign(&self.config, &self.library, &jobs, self.spec.days);
+            self.campaign = Some(result);
+        }
+        self.campaign.as_ref().unwrap()
+    }
+
+    /// Discards the cached campaign (after changing the spec).
+    pub fn invalidate(&mut self) {
+        self.campaign = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_cached() {
+        let mut sys = Sp2System::nas_1996(2);
+        let a = sys.campaign().samples.len();
+        let b = sys.campaign().samples.len();
+        assert_eq!(a, b);
+        assert_eq!(a, 2 * 96 + 1);
+    }
+
+    #[test]
+    fn invalidate_allows_respec() {
+        let mut sys = Sp2System::nas_1996(1);
+        assert_eq!(sys.campaign().days, 1);
+        sys.spec.days = 2;
+        sys.invalidate();
+        assert_eq!(sys.campaign().days, 2);
+    }
+}

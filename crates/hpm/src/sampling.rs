@@ -1,0 +1,200 @@
+//! Multipass sampling: watching more signals than the hardware has slots.
+//!
+//! The Maki tools "allowed the reporting of events occurring in both user
+//! and system mode thru a multipass sampling mode": when a measurement
+//! wants more signals than a group's five slots, the tools rotate through
+//! several counter selections across repeated passes and scale each
+//! signal's observed count by the fraction of passes that watched it.
+
+use crate::config::CounterSelection;
+use crate::events::EventSet;
+use crate::signal::{Signal, SignalGroup};
+use std::collections::HashMap;
+
+/// A rotation of counter selections that together cover a signal list.
+#[derive(Debug, Clone)]
+pub struct MultipassPlan {
+    passes: Vec<CounterSelection>,
+    /// How many passes watch each signal.
+    coverage: HashMap<Signal, usize>,
+}
+
+impl MultipassPlan {
+    /// Plans passes covering `wanted`. Signals are packed greedily per
+    /// group: each pass takes up to `group.slots()` not-yet-covered
+    /// signals from every group, so the number of passes equals the
+    /// largest ⌈wanted-in-group / slots⌉ over groups.
+    ///
+    /// Duplicate signals are covered once.
+    pub fn plan(wanted: &[Signal]) -> Self {
+        let mut per_group: HashMap<SignalGroup, Vec<Signal>> = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for &s in wanted {
+            if seen.insert(s) {
+                per_group.entry(s.group()).or_default().push(s);
+            }
+        }
+        let n_passes = per_group
+            .iter()
+            .map(|(g, v)| v.len().div_ceil(g.slots()))
+            .max()
+            .unwrap_or(0);
+        let mut passes = Vec::with_capacity(n_passes);
+        let mut coverage: HashMap<Signal, usize> = HashMap::new();
+        for p in 0..n_passes {
+            let mut assignment = Vec::new();
+            for (g, signals) in &per_group {
+                let k = g.slots();
+                // Rotate: pass p watches signals [p*k .. p*k+k) mod len,
+                // so every signal is watched in ⌈len/k⌉ of the passes at
+                // a uniform rate.
+                let len = signals.len();
+                for j in 0..k.min(len) {
+                    let idx = (p * k + j) % len;
+                    assignment.push(signals[idx]);
+                }
+            }
+            // Deduplicate within the pass (rotation can alias when
+            // len < k or len not a multiple of k).
+            let mut uniq = Vec::new();
+            for s in assignment {
+                if !uniq.contains(&s) {
+                    uniq.push(s);
+                }
+            }
+            for &s in &uniq {
+                *coverage.entry(s).or_insert(0) += 1;
+            }
+            passes.push(CounterSelection::new(&uniq).expect("per-group packing respects budgets"));
+        }
+        MultipassPlan { passes, coverage }
+    }
+
+    /// The planned passes.
+    pub fn passes(&self) -> &[CounterSelection] {
+        &self.passes
+    }
+
+    /// Number of passes that watch `signal`.
+    pub fn coverage(&self, signal: Signal) -> usize {
+        self.coverage.get(&signal).copied().unwrap_or(0)
+    }
+
+    /// Estimates full-run totals from per-pass observations.
+    ///
+    /// `observations[i]` must be the event totals seen during pass `i`
+    /// (only signals watched by pass `i` are read). Each signal's observed
+    /// sum is scaled by `n_passes / coverage`, the standard multipass
+    /// correction under a stationarity assumption.
+    ///
+    /// # Panics
+    /// Panics when the observation count differs from the pass count.
+    pub fn estimate(&self, observations: &[EventSet]) -> EventSet {
+        assert_eq!(
+            observations.len(),
+            self.passes.len(),
+            "one observation per pass required"
+        );
+        let mut out = EventSet::new();
+        let n = self.passes.len() as u64;
+        for (pass, obs) in self.passes.iter().zip(observations) {
+            for signal in pass.signals() {
+                let cov = self.coverage(signal) as u64;
+                if let Some(scaled) = (obs.get(signal) * n).checked_div(cov) {
+                    out.bump(signal, scaled);
+                }
+            }
+        }
+        // The loop above accumulated each signal once per watching pass,
+        // each time scaled by n/cov — i.e. total * n/cov where total is
+        // the sum over watched passes. That is already the estimator.
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pass_when_signals_fit() {
+        use Signal::*;
+        let plan = MultipassPlan::plan(&[Fxu0Exec, Fxu1Exec, Cycles, Fpu0Fma, IcuType1]);
+        assert_eq!(plan.passes().len(), 1);
+        assert_eq!(plan.coverage(Fxu0Exec), 1);
+    }
+
+    #[test]
+    fn multiple_passes_when_group_overflows() {
+        use Signal::*;
+        // 7 FXU-group signals > 5 slots -> 2 passes.
+        let plan = MultipassPlan::plan(&[
+            Fxu0Exec,
+            Fxu1Exec,
+            DcacheMiss,
+            TlbMiss,
+            Cycles,
+            StorageRefs,
+            FxuStallCycles,
+        ]);
+        assert_eq!(plan.passes().len(), 2);
+        for s in [Fxu0Exec, StorageRefs, FxuStallCycles] {
+            assert!(plan.coverage(s) >= 1, "{s:?} uncovered");
+        }
+        for p in plan.passes() {
+            assert!(p.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = MultipassPlan::plan(&[]);
+        assert!(plan.passes().is_empty());
+        assert!(plan.estimate(&[]).is_zero());
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        use Signal::*;
+        let plan = MultipassPlan::plan(&[Cycles, Cycles, Cycles]);
+        assert_eq!(plan.passes().len(), 1);
+        assert_eq!(plan.coverage(Cycles), 1);
+    }
+
+    #[test]
+    fn estimate_scales_by_coverage() {
+        use Signal::*;
+        let plan = MultipassPlan::plan(&[
+            Fxu0Exec,
+            Fxu1Exec,
+            DcacheMiss,
+            TlbMiss,
+            Cycles,
+            StorageRefs,
+            FxuStallCycles,
+        ]);
+        let n = plan.passes().len();
+        // Stationary process: every pass sees the same rates.
+        let mut per_pass = Vec::new();
+        for pass in plan.passes() {
+            let mut e = EventSet::new();
+            for s in pass.signals() {
+                e.bump(s, 1000);
+            }
+            per_pass.push(e);
+        }
+        let est = plan.estimate(&per_pass);
+        // A signal watched in `cov` of `n` passes saw 1000*cov events and
+        // is scaled to 1000*cov * n/cov = 1000*n — the full-run estimate.
+        for s in [Fxu0Exec, StorageRefs, Cycles] {
+            assert_eq!(est.get(s), 1000 * n as u64, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per pass")]
+    fn estimate_arity_checked() {
+        let plan = MultipassPlan::plan(&[Signal::Cycles]);
+        plan.estimate(&[]);
+    }
+}

@@ -1,0 +1,495 @@
+//! A small DSL for composing kernels.
+//!
+//! The builder allocates FPRs/GPRs in rotation (register reuse after
+//! wrap-around creates the same serializing dependencies a real 32-register
+//! file imposes), assigns array base addresses in disjoint 64 MB windows,
+//! and appends the loop-closing branch the paper says dominates ICU counts.
+
+use crate::inst::Inst;
+use crate::kernel::Kernel;
+use crate::mem::{AddrGen, AddrPattern};
+use crate::op::{BrKind, FpOp, FxOp, Op};
+use crate::reg::{RegId, NUM_FPRS, NUM_GPRS};
+
+/// Spacing between automatically assigned array base addresses.
+const ARRAY_WINDOW: u64 = 64 << 20;
+/// Extra per-array stagger so bases do not all land on cache set 0 and
+/// TLB set 0 (64 MB is a multiple of both set spans): 72 kB shifts the
+/// D-cache set by 32 sets and the TLB set by 18 sets per array, the way a
+/// real linker scatters data segments. Without it, "resident" tiles alias
+/// into the same sets and conflict-miss forever.
+const ARRAY_STAGGER: u64 = 72 << 10;
+/// First automatically assigned base (keeps page 0 unused).
+const ARRAY_BASE: u64 = 256 << 20;
+
+/// Incrementally builds a [`Kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    body: Vec<Inst>,
+    addr_gens: Vec<AddrGen>,
+    next_fpr: u8,
+    next_gpr: u8,
+    code_lines: Option<u32>,
+    routine_period: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            body: Vec::new(),
+            addr_gens: Vec::new(),
+            next_fpr: 0,
+            // GPR 0/1 conventionally reserved (stack/zero); rotate the rest.
+            next_gpr: 2,
+            code_lines: None,
+            routine_period: 0,
+        }
+    }
+
+    /// Declares the I-cache footprint the body stands for (`lines`
+    /// I-cache lines) and how often execution revisits other routines of
+    /// the same code (`period` iterations; 0 = never). Without this call
+    /// the footprint defaults to the literal body size.
+    pub fn code_footprint(&mut self, lines: u32, period: u32) {
+        self.code_lines = Some(lines);
+        self.routine_period = period;
+    }
+
+    /// Allocates the next FPR in rotation.
+    pub fn fresh_fpr(&mut self) -> RegId {
+        let r = RegId::Fpr(self.next_fpr);
+        self.next_fpr = (self.next_fpr + 1) % NUM_FPRS;
+        r
+    }
+
+    fn fresh_gpr(&mut self) -> RegId {
+        let r = RegId::Gpr(self.next_gpr);
+        self.next_gpr = if self.next_gpr + 1 >= NUM_GPRS {
+            2
+        } else {
+            self.next_gpr + 1
+        };
+        r
+    }
+
+    fn push_gen(&mut self, pattern: AddrPattern) -> u16 {
+        let slot = self.addr_gens.len() as u16;
+        self.addr_gens.push(AddrGen::new(pattern));
+        slot
+    }
+
+    fn auto_base(&self) -> u64 {
+        let idx = self.addr_gens.len() as u64;
+        ARRAY_BASE + idx * (ARRAY_WINDOW + ARRAY_STAGGER)
+    }
+
+    // ---- array declarations -------------------------------------------
+
+    /// Declares a sequentially walked array: `stride` bytes per access,
+    /// wrapping after `span` bytes.
+    pub fn seq_array(&mut self, stride: u64, span: u64) -> u16 {
+        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        let base = self.auto_base();
+        self.push_gen(AddrPattern::Seq { base, stride, span })
+    }
+
+    /// Declares a cache-resident tile walked repeatedly.
+    pub fn tile_array(&mut self, stride: u64, tile: u64) -> u16 {
+        assert!(tile <= ARRAY_WINDOW, "tile exceeds its address window");
+        let base = self.auto_base();
+        self.push_gen(AddrPattern::Tile { base, stride, tile })
+    }
+
+    /// Declares a two-level strided walk (`inner` unit-strided elements,
+    /// then a jump of `outer`), wrapping after `span` bytes.
+    pub fn strided_array(&mut self, stride: u64, inner: u32, outer: u64, span: u64) -> u16 {
+        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        let base = self.auto_base();
+        self.push_gen(AddrPattern::Strided2D {
+            base,
+            stride,
+            inner,
+            outer,
+            span,
+        })
+    }
+
+    /// Declares a pseudo-randomly accessed region.
+    pub fn random_array(&mut self, span: u64, align: u64) -> u16 {
+        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        let base = self.auto_base();
+        self.push_gen(AddrPattern::Random { base, span, align })
+    }
+
+    /// Declares a scalar location (always the same address).
+    pub fn scalar(&mut self) -> u16 {
+        let addr = self.auto_base();
+        self.push_gen(AddrPattern::Fixed { addr })
+    }
+
+    // ---- storage references -------------------------------------------
+
+    /// Emits a doubleword load from `slot`, returning the loaded FPR.
+    pub fn load_double(&mut self, slot: u16) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::memory(FxOp::LoadDouble, slot, Some(dst), &[]));
+        dst
+    }
+
+    /// Emits a quad load (two doublewords, one instruction), returning the
+    /// pair of FPRs it fills.
+    pub fn load_quad(&mut self, slot: u16) -> (RegId, RegId) {
+        let d0 = self.fresh_fpr();
+        let d1 = self.fresh_fpr();
+        let mut inst = Inst::memory(FxOp::LoadQuad, slot, Some(d0), &[]);
+        inst.dst2 = Some(d1);
+        self.body.push(inst);
+        (d0, d1)
+    }
+
+    /// Emits a doubleword store of `src` to `slot`.
+    pub fn store_double(&mut self, slot: u16, src: RegId) {
+        self.body.push(Inst::memory(FxOp::StoreDouble, slot, None, &[src]));
+    }
+
+    /// Emits a quad store of two FPRs (one instruction).
+    pub fn store_quad(&mut self, slot: u16, src0: RegId, src1: RegId) {
+        self.body
+            .push(Inst::memory(FxOp::StoreQuad, slot, None, &[src0, src1]));
+    }
+
+    /// Emits a single-word load (integer data), returning the GPR.
+    pub fn load_word(&mut self, slot: u16) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body.push(Inst::memory(FxOp::LoadSingle, slot, Some(dst), &[]));
+        dst
+    }
+
+    /// Emits a doubleword load whose address depends on `idx` (indexed /
+    /// indirect addressing: grid metrics, block tables). The load cannot
+    /// issue before `idx` is ready — the serialization that makes real
+    /// multi-block CFD codes memory-latency-bound.
+    pub fn load_double_at(&mut self, slot: u16, idx: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body
+            .push(Inst::memory(FxOp::LoadDouble, slot, Some(dst), &[idx]));
+        dst
+    }
+
+    /// Emits a single-word load whose address depends on `idx` (pointer
+    /// chasing through block tables), returning the loaded GPR.
+    pub fn load_word_at(&mut self, slot: u16, idx: RegId) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body
+            .push(Inst::memory(FxOp::LoadSingle, slot, Some(dst), &[idx]));
+        dst
+    }
+
+    /// Emits an integer ALU op consuming `src` (index arithmetic on a
+    /// loaded value), returning the result GPR.
+    pub fn int_alu_from(&mut self, src: RegId) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body.push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[src]));
+        dst
+    }
+
+    // ---- floating point -----------------------------------------------
+
+    /// Emits `dst = a * b + c` (compound fma, 2 flops), returning `dst`.
+    pub fn fma(&mut self, a: RegId, b: RegId, c: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Fma), Some(dst), &[a, b, c]));
+        dst
+    }
+
+    /// In-place accumulating fma: `acc = a * b + acc`, returning `acc`.
+    /// Writes the destination register it reads, creating the loop-carried
+    /// dependence of a genuine dot-product recurrence.
+    pub fn fma_acc(&mut self, acc: RegId, a: RegId, b: RegId) -> RegId {
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Fma), Some(acc), &[a, b, acc]));
+        acc
+    }
+
+    /// Emits `dst = a + b`, returning `dst`.
+    pub fn fadd(&mut self, a: RegId, b: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Add), Some(dst), &[a, b]));
+        dst
+    }
+
+    /// Emits `dst = a * b`, returning `dst`.
+    pub fn fmul(&mut self, a: RegId, b: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Mul), Some(dst), &[a, b]));
+        dst
+    }
+
+    /// Emits `dst = a / b` (10-cycle multicycle op), returning `dst`.
+    pub fn fdiv(&mut self, a: RegId, b: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Div), Some(dst), &[a, b]));
+        dst
+    }
+
+    /// Emits `dst = sqrt(a)` (15-cycle multicycle op), returning `dst`.
+    pub fn fsqrt(&mut self, a: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Sqrt), Some(dst), &[a]));
+        dst
+    }
+
+    /// Emits an FPU register move.
+    pub fn fmove(&mut self, a: RegId) -> RegId {
+        let dst = self.fresh_fpr();
+        self.body.push(Inst::new(Op::Fp(FpOp::Move), Some(dst), &[a]));
+        dst
+    }
+
+    /// Emits a floating compare (sets a condition register).
+    pub fn fcmp(&mut self, a: RegId, b: RegId) {
+        self.body.push(Inst::new(Op::Fp(FpOp::Cmp), None, &[a, b]));
+    }
+
+    // ---- fixed point --------------------------------------------------
+
+    /// Emits an integer ALU op (loop index update, address add).
+    pub fn int_alu(&mut self) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body.push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[]));
+        dst
+    }
+
+    /// Emits an integer multiply (FXU1-only addressing arithmetic).
+    pub fn int_mul(&mut self) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body.push(Inst::new(Op::Fx(FxOp::IntMul), Some(dst), &[]));
+        dst
+    }
+
+    /// Emits an integer divide (FXU1-only addressing arithmetic).
+    pub fn int_div(&mut self) -> RegId {
+        let dst = self.fresh_gpr();
+        self.body.push(Inst::new(Op::Fx(FxOp::IntDiv), Some(dst), &[]));
+        dst
+    }
+
+    // ---- ICU ------------------------------------------------------------
+
+    /// Emits a condition-register op (ICU type II).
+    pub fn cond_reg(&mut self) {
+        self.body.push(Inst::new(Op::CondReg, None, &[]));
+    }
+
+    /// Emits a conditional branch inside the body (ICU type I).
+    pub fn cond_branch(&mut self) {
+        self.body.push(Inst::new(Op::Br(BrKind::Cond), None, &[]));
+    }
+
+    /// Emits the loop-closing backward branch (ICU type I).
+    pub fn loop_back(&mut self) {
+        self.body.push(Inst::new(Op::Br(BrKind::LoopBack), None, &[]));
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Finalizes the kernel with the given iteration count.
+    ///
+    /// # Panics
+    /// Panics if the body fails [`Kernel::validate`] — the builder cannot
+    /// produce such kernels itself, but the check is cheap insurance.
+    pub fn build(self, iters: u64) -> Kernel {
+        // Default footprint: the literal body at 4 bytes/instruction in
+        // 128-byte I-cache lines, at least one line.
+        let default_lines = (self.body.len() * 4).div_ceil(128).max(1) as u32;
+        let k = Kernel {
+            name: self.name,
+            body: self.body,
+            iters,
+            addr_gens: self.addr_gens,
+            code_lines: self.code_lines.unwrap_or(default_lines),
+            routine_period: self.routine_period,
+        };
+        if let Err(e) = k.validate() {
+            panic!("builder produced an invalid kernel: {e}");
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_kernel_shape() {
+        let mut b = KernelBuilder::new("dot");
+        let xa = b.seq_array(8, 1 << 20);
+        let ya = b.seq_array(8, 1 << 20);
+        let acc = b.fresh_fpr();
+        let x = b.load_double(xa);
+        let y = b.load_double(ya);
+        b.fma_acc(acc, x, y);
+        b.loop_back();
+        let k = b.build(1000);
+        let s = k.statics();
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.memory_instructions, 2);
+        assert_eq!(s.flops, 2);
+        assert!(k.ends_with_loop_branch());
+    }
+
+    #[test]
+    fn array_windows_do_not_overlap() {
+        let mut b = KernelBuilder::new("w");
+        let s1 = b.seq_array(8, ARRAY_WINDOW);
+        let s2 = b.seq_array(8, ARRAY_WINDOW);
+        let mut k = b.build(1);
+        let a1 = k.addr_gens[s1 as usize].next_addr();
+        let a2 = k.addr_gens[s2 as usize].next_addr();
+        assert!(a2 - a1 >= ARRAY_WINDOW);
+    }
+
+    #[test]
+    #[should_panic(expected = "array span exceeds its address window")]
+    fn oversized_array_rejected() {
+        KernelBuilder::new("x").seq_array(8, ARRAY_WINDOW + 1);
+    }
+
+    #[test]
+    fn quad_load_emits_one_memory_instruction() {
+        let mut b = KernelBuilder::new("q");
+        let a = b.seq_array(16, 1 << 20);
+        let (d0, d1) = b.load_quad(a);
+        assert_ne!(d0, d1);
+        let k = b.build(1);
+        let s = k.statics();
+        assert_eq!(s.memory_instructions, 1);
+        assert_eq!(s.doublewords, 2);
+    }
+
+    #[test]
+    fn fpr_allocation_rotates() {
+        let mut b = KernelBuilder::new("r");
+        let first = b.fresh_fpr();
+        for _ in 0..(NUM_FPRS as usize - 1) {
+            b.fresh_fpr();
+        }
+        let wrapped = b.fresh_fpr();
+        assert_eq!(first, wrapped);
+    }
+
+    #[test]
+    fn gpr_allocation_skips_reserved() {
+        let mut b = KernelBuilder::new("g");
+        for _ in 0..200 {
+            let RegId::Gpr(i) = b.int_alu() else {
+                panic!("int op must target a GPR")
+            };
+            assert!((2..NUM_GPRS).contains(&i));
+        }
+    }
+
+    #[test]
+    fn builder_len_tracks_emissions() {
+        let mut b = KernelBuilder::new("n");
+        assert!(b.is_empty());
+        b.int_alu();
+        b.cond_reg();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn all_builder_ops_validate() {
+        let mut b = KernelBuilder::new("all");
+        let sa = b.seq_array(8, 1 << 16);
+        let ta = b.tile_array(8, 1 << 12);
+        let ra = b.random_array(1 << 16, 8);
+        let st = b.strided_array(8, 4, 4096, 1 << 20);
+        let sc = b.scalar();
+        let x = b.load_double(sa);
+        let y = b.load_double(ta);
+        let z = b.load_double(ra);
+        let w = b.load_double(st);
+        let v = b.load_double(sc);
+        let _ = b.load_word(sc);
+        let s = b.fadd(x, y);
+        let m = b.fmul(z, w);
+        let d = b.fdiv(s, m);
+        let q = b.fsqrt(d);
+        let mv = b.fmove(q);
+        b.fcmp(mv, v);
+        b.int_mul();
+        b.int_div();
+        b.cond_reg();
+        b.cond_branch();
+        b.store_double(sa, mv);
+        let (q0, q1) = b.load_quad(sa);
+        b.store_quad(sa, q0, q1);
+        b.loop_back();
+        let k = b.build(3);
+        assert!(k.validate().is_ok());
+        assert_eq!(k.iters, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// Any program the builder can emit validates, and its statics
+        /// are internally consistent.
+        #[test]
+        fn random_builder_programs_validate(
+            ops in prop::collection::vec(0u8..12, 1..200),
+            iters in 1u64..1000,
+        ) {
+            let mut b = KernelBuilder::new("prop");
+            let arr = b.seq_array(8, 1 << 20);
+            let tile = b.tile_array(8, 1 << 14);
+            let mut last = b.fresh_fpr();
+            for op in ops {
+                match op {
+                    0 => last = b.load_double(arr),
+                    1 => last = b.load_double(tile),
+                    2 => { let (d0, _) = b.load_quad(arr); last = d0; }
+                    3 => b.store_double(arr, last),
+                    4 => last = b.fadd(last, last),
+                    5 => last = b.fmul(last, last),
+                    6 => last = b.fma(last, last, last),
+                    7 => last = b.fdiv(last, last),
+                    8 => { b.int_alu(); }
+                    9 => b.cond_reg(),
+                    10 => b.cond_branch(),
+                    _ => { let g = b.int_alu(); last = b.load_double_at(arr, g); }
+                }
+            }
+            b.loop_back();
+            let k = b.build(iters);
+            prop_assert!(k.validate().is_ok());
+            prop_assert!(k.ends_with_loop_branch());
+            let s = k.statics();
+            prop_assert_eq!(
+                s.instructions,
+                s.fp_instructions + s.fx_instructions + s.icu_instructions
+            );
+            prop_assert!(s.memory_instructions <= s.fx_instructions);
+            prop_assert!(s.branches <= s.icu_instructions);
+            prop_assert_eq!(k.dynamic_instructions(), s.instructions * iters);
+        }
+    }
+}

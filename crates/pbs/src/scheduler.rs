@@ -1,0 +1,442 @@
+//! The PBS scheduler: FCFS with backfill and drain-for-large-jobs.
+
+use crate::job::{JobId, JobSpec, JobState};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A job the scheduler just started (prologue hook payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StartedJob {
+    /// The job's spec.
+    pub spec: JobSpec,
+    /// The dedicated nodes it received.
+    pub nodes: Vec<usize>,
+    /// Start time, seconds.
+    pub start: f64,
+}
+
+/// The batch system: node pool, queue, and running set.
+///
+/// ```
+/// use sp2_pbs::{JobId, JobSpec, Pbs};
+///
+/// let mut pbs = Pbs::new(144);
+/// pbs.submit(JobSpec {
+///     id: JobId(1),
+///     nodes: 16,
+///     requested_walltime_s: 3_600.0,
+///     payload: 0,
+/// });
+/// let started = pbs.schedule(0.0);
+/// assert_eq!(started[0].nodes.len(), 16);
+/// pbs.finish(JobId(1), 3_600.0);
+/// assert_eq!(pbs.free_nodes(), 144);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pbs {
+    /// `Some(job)` when the node is dedicated to that job.
+    node_owner: Vec<Option<JobId>>,
+    queue: VecDeque<JobSpec>,
+    running: HashMap<JobId, StartedJob>,
+    states: HashMap<JobId, JobState>,
+    /// Node count above which a job forces queue draining (64 at NAS).
+    drain_threshold: u32,
+    /// How deep backfill may look past the queue head.
+    backfill_depth: usize,
+}
+
+impl Pbs {
+    /// Creates a PBS instance managing `nodes` nodes with the NAS drain
+    /// threshold of 64.
+    pub fn new(nodes: usize) -> Self {
+        Pbs {
+            node_owner: vec![None; nodes],
+            queue: VecDeque::new(),
+            running: HashMap::new(),
+            states: HashMap::new(),
+            drain_threshold: 64,
+            backfill_depth: 16,
+        }
+    }
+
+    /// Overrides the drain threshold (ablation).
+    pub fn with_drain_threshold(mut self, t: u32) -> Self {
+        self.drain_threshold = t;
+        self
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.node_owner.len()
+    }
+
+    /// Nodes currently idle.
+    pub fn free_nodes(&self) -> usize {
+        self.node_owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Nodes currently dedicated to jobs.
+    pub fn busy_nodes(&self) -> usize {
+        self.node_count() - self.free_nodes()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// State of a job, if known.
+    pub fn state(&self, id: JobId) -> Option<&JobState> {
+        self.states.get(&id)
+    }
+
+    /// Submits a job to the queue.
+    ///
+    /// # Panics
+    /// Panics if the job requests zero nodes or more nodes than exist —
+    /// PBS rejects such submissions outright.
+    pub fn submit(&mut self, spec: JobSpec) {
+        assert!(spec.nodes >= 1, "jobs request at least one node");
+        assert!(
+            spec.nodes as usize <= self.node_count(),
+            "job requests more nodes than the machine has"
+        );
+        self.states.insert(spec.id, JobState::Queued);
+        self.queue.push_back(spec);
+    }
+
+    fn allocate(&mut self, n: u32) -> Option<Vec<usize>> {
+        let free: Vec<usize> = self
+            .node_owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .take(n as usize)
+            .collect();
+        (free.len() == n as usize).then_some(free)
+    }
+
+    /// Runs one scheduling pass at time `now`, starting every job the
+    /// policy allows. Returns the started jobs (prologue order).
+    ///
+    /// Policy: start the head while it fits. If the head does not fit and
+    /// needs more than the drain threshold, *drain* — start nothing else
+    /// so the machine empties for it. Otherwise backfill: start any of
+    /// the next `backfill_depth` jobs that fit.
+    pub fn schedule(&mut self, now: f64) -> Vec<StartedJob> {
+        let mut started = Vec::new();
+        // Phase 1: start from the head while possible.
+        while let Some(head) = self.queue.front() {
+            if head.nodes as usize <= self.free_nodes() {
+                let spec = self.queue.pop_front().unwrap();
+                let nodes = self.allocate(spec.nodes).expect("checked: enough free");
+                for &n in &nodes {
+                    self.node_owner[n] = Some(spec.id);
+                }
+                let job = StartedJob {
+                    spec,
+                    nodes: nodes.clone(),
+                    start: now,
+                };
+                self.states.insert(
+                    job.spec.id,
+                    JobState::Running { start: now, nodes },
+                );
+                self.running.insert(job.spec.id, job.clone());
+                started.push(job);
+            } else {
+                break;
+            }
+        }
+        // Phase 2: head blocked. Drain for large jobs, else backfill.
+        if let Some(head) = self.queue.front() {
+            if !head.needs_drain(self.drain_threshold) {
+                let mut i = 1;
+                while i < self.queue.len().min(1 + self.backfill_depth) {
+                    let fits = self.queue[i].nodes as usize <= self.free_nodes();
+                    if fits {
+                        let spec = self.queue.remove(i).unwrap();
+                        let nodes = self.allocate(spec.nodes).expect("checked: fits");
+                        for &n in &nodes {
+                            self.node_owner[n] = Some(spec.id);
+                        }
+                        let job = StartedJob {
+                            spec,
+                            nodes: nodes.clone(),
+                            start: now,
+                        };
+                        self.states.insert(
+                            job.spec.id,
+                            JobState::Running { start: now, nodes },
+                        );
+                        self.running.insert(job.spec.id, job.clone());
+                        started.push(job);
+                        // Do not advance: removal shifted the queue.
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        started
+    }
+
+    /// Completes a running job at time `now`, freeing its nodes and
+    /// returning its record data (epilogue hook payload).
+    ///
+    /// # Panics
+    /// Panics if the job is not running.
+    pub fn finish(&mut self, id: JobId, now: f64) -> StartedJob {
+        let job = self
+            .running
+            .remove(&id)
+            .unwrap_or_else(|| panic!("finish() on non-running job {id:?}"));
+        for &n in &job.nodes {
+            debug_assert_eq!(self.node_owner[n], Some(id));
+            self.node_owner[n] = None;
+        }
+        self.states.insert(
+            id,
+            JobState::Done {
+                start: job.start,
+                end: now,
+            },
+        );
+        job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, nodes: u32) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            nodes,
+            requested_walltime_s: 3600.0,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn fcfs_start_and_finish() {
+        let mut pbs = Pbs::new(8);
+        pbs.submit(spec(1, 4));
+        pbs.submit(spec(2, 4));
+        let started = pbs.schedule(0.0);
+        assert_eq!(started.len(), 2);
+        assert_eq!(pbs.free_nodes(), 0);
+        assert!(matches!(pbs.state(JobId(1)), Some(JobState::Running { .. })));
+        let rec = pbs.finish(JobId(1), 100.0);
+        assert_eq!(rec.nodes.len(), 4);
+        assert_eq!(pbs.free_nodes(), 4);
+        assert!(matches!(
+            pbs.state(JobId(1)),
+            Some(JobState::Done { start, end }) if *start == 0.0 && *end == 100.0
+        ));
+    }
+
+    #[test]
+    fn nodes_are_dedicated() {
+        let mut pbs = Pbs::new(4);
+        pbs.submit(spec(1, 3));
+        pbs.submit(spec(2, 2));
+        let started = pbs.schedule(0.0);
+        assert_eq!(started.len(), 1, "only 1 node left for the 2-node job");
+        // Node sets must be disjoint once job 2 eventually starts.
+        pbs.finish(JobId(1), 10.0);
+        let started2 = pbs.schedule(10.0);
+        assert_eq!(started2.len(), 1);
+        assert_eq!(pbs.busy_nodes(), 2);
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_pass_a_blocked_medium_head() {
+        let mut pbs = Pbs::new(8);
+        pbs.submit(spec(1, 8)); // will run
+        pbs.submit(spec(2, 6)); // blocked head (≤ 64: no drain)
+        pbs.submit(spec(3, 2)); // backfills? No free nodes at all.
+        pbs.schedule(0.0);
+        assert_eq!(pbs.running(), 1);
+        pbs.finish(JobId(1), 50.0);
+        // 8 free; head (6) starts, then 3 backfills into remaining 2.
+        let started = pbs.schedule(50.0);
+        assert_eq!(started.len(), 2);
+    }
+
+    #[test]
+    fn backfill_when_head_blocked_but_small_fits() {
+        let mut pbs = Pbs::new(8);
+        pbs.submit(spec(1, 5));
+        pbs.submit(spec(2, 6)); // can't fit beside job 1
+        pbs.submit(spec(3, 3)); // fits in the 3 leftover nodes
+        let started = pbs.schedule(0.0);
+        let ids: Vec<u64> = started.iter().map(|s| s.spec.id.0).collect();
+        assert_eq!(ids, vec![1, 3], "3 backfilled past blocked 2");
+    }
+
+    #[test]
+    fn large_jobs_drain_the_queue() {
+        let mut pbs = Pbs::new(144);
+        pbs.submit(spec(1, 100));
+        pbs.schedule(0.0);
+        pbs.submit(spec(2, 128)); // > 64: drain when blocked
+        pbs.submit(spec(3, 4)); // would fit, but drain forbids backfill
+        let started = pbs.schedule(1.0);
+        assert!(started.is_empty(), "drain mode must not backfill");
+        pbs.finish(JobId(1), 2.0);
+        let started = pbs.schedule(2.0);
+        assert_eq!(started.len(), 2, "drained machine runs the big job, then backfills");
+        assert_eq!(started[0].spec.id, JobId(2));
+    }
+
+    #[test]
+    fn drain_threshold_ablation() {
+        let mut pbs = Pbs::new(144).with_drain_threshold(144);
+        pbs.submit(spec(1, 100));
+        pbs.schedule(0.0);
+        pbs.submit(spec(2, 128));
+        pbs.submit(spec(3, 4));
+        let started = pbs.schedule(1.0);
+        assert_eq!(started.len(), 1, "without drain the small job backfills");
+        assert_eq!(started[0].spec.id, JobId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than the machine has")]
+    fn oversized_submission_rejected() {
+        let mut pbs = Pbs::new(4);
+        pbs.submit(spec(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_submission_rejected() {
+        let mut pbs = Pbs::new(4);
+        pbs.submit(spec(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-running job")]
+    fn finishing_unknown_job_panics() {
+        let mut pbs = Pbs::new(4);
+        pbs.finish(JobId(99), 0.0);
+    }
+
+    #[test]
+    fn queue_depth_reporting() {
+        let mut pbs = Pbs::new(2);
+        pbs.submit(spec(1, 2));
+        pbs.submit(spec(2, 2));
+        pbs.submit(spec(3, 2));
+        assert_eq!(pbs.queued(), 3);
+        pbs.schedule(0.0);
+        assert_eq!(pbs.queued(), 2);
+        assert_eq!(pbs.running(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random submit/schedule/finish sequences never violate the
+    /// dedicated-allocation invariants: node sets are disjoint, busy +
+    /// free = total, and every running job holds exactly its request.
+    fn check_invariants(pbs: &Pbs, running_nodes: &std::collections::HashMap<JobId, usize>) {
+        let busy: usize = running_nodes.values().sum();
+        assert_eq!(pbs.busy_nodes(), busy, "busy accounting");
+        assert_eq!(pbs.free_nodes() + busy, pbs.node_count());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn scheduler_never_double_books(
+            ops in prop::collection::vec((1u32..30, 0u8..4), 1..60)
+        ) {
+            let mut pbs = Pbs::new(64);
+            let mut next_id = 0u64;
+            let mut t = 0.0;
+            let mut running: std::collections::HashMap<JobId, usize> =
+                std::collections::HashMap::new();
+            let mut seen_nodes: std::collections::HashMap<usize, JobId> =
+                std::collections::HashMap::new();
+
+            for (nodes, action) in ops {
+                t += 1.0;
+                match action {
+                    // Submit a job.
+                    0 | 1 => {
+                        next_id += 1;
+                        pbs.submit(JobSpec {
+                            id: JobId(next_id),
+                            nodes: nodes.min(64),
+                            requested_walltime_s: 100.0,
+                            payload: 0,
+                        });
+                    }
+                    // Finish the oldest running job.
+                    2 => {
+                        if let Some(&id) = running.keys().min() {
+                            let job = pbs.finish(id, t);
+                            for n in &job.nodes {
+                                prop_assert_eq!(seen_nodes.remove(n), Some(id));
+                            }
+                            running.remove(&id);
+                        }
+                    }
+                    // Scheduling pass.
+                    _ => {}
+                }
+                for started in pbs.schedule(t) {
+                    prop_assert_eq!(started.nodes.len(), started.spec.nodes as usize);
+                    for &n in &started.nodes {
+                        // Dedicated: nobody else may hold this node.
+                        prop_assert!(
+                            seen_nodes.insert(n, started.spec.id).is_none(),
+                            "node {} double-booked", n
+                        );
+                    }
+                    running.insert(started.spec.id, started.nodes.len());
+                }
+                check_invariants(&pbs, &running);
+            }
+        }
+
+        /// FCFS fairness: with no backfill opportunity (all jobs the same
+        /// size), start order equals submission order.
+        #[test]
+        fn fcfs_order_preserved(n_jobs in 2usize..20) {
+            let mut pbs = Pbs::new(8);
+            for i in 0..n_jobs {
+                pbs.submit(JobSpec {
+                    id: JobId(i as u64),
+                    nodes: 8,
+                    requested_walltime_s: 10.0,
+                    payload: 0,
+                });
+            }
+            let mut started_order = Vec::new();
+            let mut t = 0.0;
+            while started_order.len() < n_jobs {
+                t += 1.0;
+                for s in pbs.schedule(t) {
+                    started_order.push(s.spec.id.0);
+                }
+                if let Some(&last) = started_order.last() {
+                    pbs.finish(JobId(last), t + 0.5);
+                }
+            }
+            let expected: Vec<u64> = (0..n_jobs as u64).collect();
+            prop_assert_eq!(started_order, expected);
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! The node pipeline model.
+//!
+//! An in-order, dual-FXU / dual-FPU machine with a 4-wide dispatching ICU.
+//! The simulator replays a kernel's loop body instruction by instruction,
+//! tracking per-register readiness (a scoreboard), per-unit occupancy, the
+//! global halt a D-cache or TLB miss imposes (paper §5: "execution may
+//! halt for 8 cycles"), and the FPU0-first dispatch policy the paper uses
+//! to explain the 1.7 FPU0/FPU1 asymmetry.
+
+use crate::cache::Cache;
+use crate::config::{FpuDispatch, MachineConfig};
+use crate::tlb::{Tlb, TlbConfig};
+use serde::{Deserialize, Serialize};
+use sp2_hpm::{EventSet, Signal};
+use sp2_isa::op::{BrKind, FpOp, FxOp, Op};
+use sp2_isa::reg::SCOREBOARD_SLOTS;
+use sp2_isa::{Inst, Kernel};
+
+/// How many cycles of already-dispatched work the ICU's buffering lets
+/// dispatch run ahead of issue (dispatch queue elasticity).
+const DISPATCH_LEAD: u64 = 4;
+
+/// Outcome of running one kernel on a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Raw monitor events produced by the run.
+    pub events: EventSet,
+    /// Total cycles from first dispatch to last completion.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Cycles lost to D-cache / TLB halts.
+    pub stall_cycles: u64,
+}
+
+impl RunStats {
+    /// Achieved Mflops at the given clock.
+    pub fn mflops(&self, config: &MachineConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.events.flops_total() as f64 / 1e6 / config.cycles_to_seconds(self.cycles)
+    }
+
+    /// Achieved instructions-per-cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// One POWER2 node: units, caches, TLB, and the RNG used for the TLB
+/// penalty draw (36–54 cycles, uniform).
+#[derive(Debug, Clone)]
+pub struct Node {
+    config: MachineConfig,
+    dcache: Cache,
+    icache: Cache,
+    tlb: Tlb,
+    rng: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FxUnit {
+    Fxu0,
+    Fxu1,
+}
+
+impl Node {
+    /// Creates a node with cold caches.
+    pub fn new(config: MachineConfig) -> Self {
+        Node {
+            config,
+            dcache: Cache::with_policy(config.dcache, config.dcache_policy),
+            icache: Cache::new(config.icache),
+            tlb: Tlb::new(TlbConfig {
+                entries: config.tlb_entries,
+                ways: config.tlb_ways,
+                page_bytes: config.page_bytes,
+            }),
+            rng: 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Creates a node whose TLB-penalty draw uses `seed` (determinism
+    /// across replicated nodes while decorrelating their draws).
+    pub fn with_seed(config: MachineConfig, seed: u64) -> Self {
+        let mut n = Self::new(config);
+        n.rng ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        n
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Flushes caches and TLB (fresh address space, dedicated node).
+    pub fn reset_memory_state(&mut self) {
+        self.dcache.flush();
+        self.icache.flush();
+        self.tlb.flush();
+    }
+
+    fn draw_tlb_penalty(&mut self) -> u64 {
+        // xorshift64*; uniform in [min, max].
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let span = self.config.tlb_penalty_max - self.config.tlb_penalty_min + 1;
+        self.config.tlb_penalty_min + (self.rng >> 33) % span
+    }
+
+    /// Replays `kernel` through the pipeline, returning events and timing.
+    ///
+    /// The kernel's address-generator state is cloned, so repeated runs of
+    /// the same kernel are bit-identical. Cache/TLB contents persist
+    /// across calls; call [`Node::reset_memory_state`] for a cold start.
+    ///
+    /// ```
+    /// use sp2_power2::{MachineConfig, Node};
+    /// use sp2_isa::KernelBuilder;
+    ///
+    /// // A register-resident fma loop runs near the 267 Mflops peak.
+    /// let mut b = KernelBuilder::new("doc");
+    /// let accs: Vec<_> = (0..8).map(|_| b.fresh_fpr()).collect();
+    /// let x = b.fresh_fpr();
+    /// for &acc in &accs {
+    ///     b.fma_acc(acc, x, x);
+    /// }
+    /// b.loop_back();
+    /// let kernel = b.build(10_000);
+    ///
+    /// let config = MachineConfig::nas_sp2();
+    /// let mut node = Node::new(config);
+    /// let stats = node.run_kernel(&kernel);
+    /// assert!(stats.mflops(&config) > 0.85 * config.peak_mflops());
+    /// ```
+    pub fn run_kernel(&mut self, kernel: &Kernel) -> RunStats {
+        let mut gens = kernel.addr_gens.clone();
+        let mut events = EventSet::new();
+        let mut ready = [0u64; SCOREBOARD_SLOTS];
+
+        // Unit availability (cycle at which the unit can accept work).
+        let mut fxu0_free = 0u64;
+        let mut fxu1_free = 0u64;
+        let mut fpu0_free = 0u64;
+        let mut fpu1_free = 0u64;
+        let mut fpu_rr_toggle = false;
+
+        // Dispatch bookkeeping.
+        let mut cycle = 0u64; // current dispatch cycle
+        let mut disp_in_cycle = 0u64;
+        let mut stall_until = 0u64; // global memory halt
+        let mut last_issue = 0u64; // in-order issue horizon
+        let mut end_of_work = 0u64; // completion horizon
+        let mut stall_cycles = 0u64;
+        let mut instructions = 0u64;
+
+        let body = &kernel.body;
+        let fetch_groups_per_iter = (body.len() as u64).div_ceil(8);
+        let icache_lines =
+            (self.config.icache.bytes / self.config.icache.line_bytes) as u32;
+
+        for iter in 0..kernel.iters {
+            // --- instruction fetch & I-cache ---------------------------
+            events.bump(Signal::InstFetches, fetch_groups_per_iter);
+            if iter == 0 {
+                // Cold code fetch: the whole routine footprint streams in.
+                events.bump(Signal::IcacheReload, kernel.code_lines as u64);
+            } else if kernel.routine_period > 0
+                && iter % kernel.routine_period as u64 == 0
+                && kernel.code_lines > 0
+            {
+                // Switching to another routine of the same code. Only a
+                // footprint larger than the I-cache actually refetches.
+                let total_footprint = kernel.code_lines.saturating_mul(2);
+                if total_footprint > icache_lines {
+                    events.bump(Signal::IcacheReload, kernel.code_lines as u64);
+                }
+            }
+
+            for inst in body {
+                instructions += 1;
+
+                // --- dispatch ------------------------------------------
+                if disp_in_cycle >= self.config.dispatch_width {
+                    cycle += 1;
+                    disp_in_cycle = 0;
+                }
+                if stall_until > cycle {
+                    stall_cycles += stall_until - cycle;
+                    cycle = stall_until;
+                    disp_in_cycle = 0;
+                }
+                // Dispatch cannot run unboundedly ahead of issue.
+                if last_issue > cycle + DISPATCH_LEAD {
+                    cycle = last_issue - DISPATCH_LEAD;
+                    disp_in_cycle = 0;
+                }
+                let d = cycle;
+                disp_in_cycle += 1;
+
+                // --- operand readiness ---------------------------------
+                let mut r = d;
+                for src in inst.sources() {
+                    r = r.max(ready[src.flat_index()]);
+                }
+
+                // --- issue & execute ------------------------------------
+                let mut post_bubble = 0;
+                let (issue, done) = match inst.op {
+                    Op::Fx(fx) => self.exec_fx(
+                        fx,
+                        inst,
+                        &mut gens,
+                        &mut events,
+                        r,
+                        &mut fxu0_free,
+                        &mut fxu1_free,
+                        &mut stall_until,
+                    ),
+                    Op::Fp(fp) => Self::exec_fp(
+                        &self.config,
+                        fp,
+                        &mut events,
+                        r,
+                        &mut fpu0_free,
+                        &mut fpu1_free,
+                        &mut fpu_rr_toggle,
+                    ),
+                    Op::Br(kind) => {
+                        events.bump(Signal::IcuType1, 1);
+                        // Loop-back branches are effectively free (the
+                        // ICU refetches the loop top); data-dependent
+                        // conditional branches (flux limiters) stall the
+                        // in-order front end until resolved.
+                        if kind == BrKind::Cond {
+                            post_bubble = 3;
+                        }
+                        (r, r)
+                    }
+                    Op::CondReg => {
+                        events.bump(Signal::IcuType2, 1);
+                        (r, r + 1)
+                    }
+                };
+
+                // In-order issue: never issue before a predecessor; a
+                // resolving conditional branch additionally holds up
+                // everything behind it.
+                let issue = issue.max(last_issue) + post_bubble;
+                last_issue = issue;
+                end_of_work = end_of_work.max(done);
+
+                if let Some(dst) = inst.dst {
+                    ready[dst.flat_index()] = done;
+                }
+                if let Some(dst2) = inst.dst2 {
+                    ready[dst2.flat_index()] = done;
+                }
+            }
+        }
+
+        let cycles = end_of_work.max(cycle) + 1;
+        events.bump(Signal::Cycles, cycles);
+        events.bump(Signal::FxuStallCycles, stall_cycles);
+        RunStats {
+            events,
+            cycles,
+            instructions,
+            stall_cycles,
+        }
+    }
+
+    /// Executes a fixed-point op; returns `(issue, done)` cycles.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_fx(
+        &mut self,
+        fx: FxOp,
+        inst: &Inst,
+        gens: &mut [sp2_isa::AddrGen],
+        events: &mut EventSet,
+        ready_at: u64,
+        fxu0_free: &mut u64,
+        fxu1_free: &mut u64,
+        stall_until: &mut u64,
+    ) -> (u64, u64) {
+        // Unit choice: IntMul/IntDiv are FXU1-only; otherwise take the
+        // unit free earlier (ties to FXU0, which also explains why FXU0
+        // retires more instructions once miss handling is added).
+        let unit = if fx.fxu1_only() {
+            FxUnit::Fxu1
+        } else if *fxu0_free <= *fxu1_free {
+            FxUnit::Fxu0
+        } else {
+            FxUnit::Fxu1
+        };
+        let unit_free = match unit {
+            FxUnit::Fxu0 => *fxu0_free,
+            FxUnit::Fxu1 => *fxu1_free,
+        };
+        let issue = ready_at.max(unit_free);
+
+        match unit {
+            FxUnit::Fxu0 => events.bump(Signal::Fxu0Exec, 1),
+            FxUnit::Fxu1 => events.bump(Signal::Fxu1Exec, 1),
+        }
+
+        let occupancy = match fx {
+            FxOp::IntMul => self.config.imul_cycles,
+            FxOp::IntDiv => self.config.idiv_cycles,
+            _ => 1,
+        };
+
+        let done;
+        if fx.is_memory() {
+            events.bump(Signal::StorageRefs, 1);
+            let addr = gens[inst.mem_slot.expect("validated: memory op has slot") as usize]
+                .next_addr();
+            let is_store = fx.is_store();
+
+            let mut penalty = 0;
+            if !self.tlb.access(addr) {
+                events.bump(Signal::TlbMiss, 1);
+                penalty += self.draw_tlb_penalty();
+            }
+            let out = self.dcache.access(addr, is_store);
+            if !out.hit {
+                events.bump(Signal::DcacheMiss, 1);
+                events.bump(Signal::DcacheReload, 1);
+                penalty += self.config.dcache_miss_penalty;
+                // FXU0 administers the reload regardless of which unit
+                // issued the reference (paper §5: FXU0 "has additional
+                // responsibility in handling cache misses").
+                *fxu0_free = (*fxu0_free).max(issue + self.config.fxu0_miss_occupancy);
+            }
+            if out.memory_write {
+                events.bump(Signal::DcacheStore, 1);
+            }
+
+            if penalty > 0 {
+                // The reference halts execution until satisfied.
+                *stall_until = (*stall_until).max(issue + penalty);
+            }
+            if !is_store {
+                done = issue + penalty + self.config.load_hit_latency;
+            } else {
+                // Stores complete into the (now-resident) line; the FPU
+                // store-overlap hardware hides their latency.
+                done = issue + 1;
+            }
+        } else {
+            done = issue + occupancy;
+        }
+
+        match unit {
+            FxUnit::Fxu0 => *fxu0_free = (*fxu0_free).max(issue + occupancy),
+            FxUnit::Fxu1 => *fxu1_free = (*fxu1_free).max(issue + occupancy),
+        }
+        (issue, done)
+    }
+
+    /// Executes a floating-point op; returns `(issue, done)` cycles.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_fp(
+        config: &MachineConfig,
+        fp: FpOp,
+        events: &mut EventSet,
+        ready_at: u64,
+        fpu0_free: &mut u64,
+        fpu1_free: &mut u64,
+        rr_toggle: &mut bool,
+    ) -> (u64, u64) {
+        // FPU0-first policy (paper §5): instructions go to FPU0 until it
+        // is tied up (a dependency is keeping it busy or a multicycle op
+        // occupies it), then fall over to FPU1. The round-robin ablation
+        // alternates strictly.
+        let use_fpu0 = match config.fpu_dispatch {
+            FpuDispatch::RoundRobin => {
+                *rr_toggle = !*rr_toggle;
+                *rr_toggle
+            }
+            FpuDispatch::Fpu0First => {
+                if *fpu0_free <= ready_at {
+                    true
+                } else {
+                    *fpu1_free > ready_at && *fpu0_free <= *fpu1_free
+                }
+            }
+        };
+        let (unit_free, exec_sig, add_sig, mul_sig, div_sig, fma_sig, sqrt_sig) = if use_fpu0 {
+            (
+                &mut *fpu0_free,
+                Signal::Fpu0Exec,
+                Signal::Fpu0Add,
+                Signal::Fpu0Mul,
+                Signal::Fpu0Div,
+                Signal::Fpu0Fma,
+                Signal::Fpu0Sqrt,
+            )
+        } else {
+            (
+                &mut *fpu1_free,
+                Signal::Fpu1Exec,
+                Signal::Fpu1Add,
+                Signal::Fpu1Mul,
+                Signal::Fpu1Div,
+                Signal::Fpu1Fma,
+                Signal::Fpu1Sqrt,
+            )
+        };
+
+        let issue = ready_at.max(*unit_free);
+        events.bump(exec_sig, 1);
+        let (occupancy, latency) = match fp {
+            FpOp::Add => {
+                events.bump(add_sig, 1);
+                (1, config.fpu_latency)
+            }
+            FpOp::Mul => {
+                events.bump(mul_sig, 1);
+                (1, config.fpu_latency)
+            }
+            FpOp::Fma => {
+                // HPM accounting: the fma multiply lands in the fma
+                // count, the fma add in the add count (paper §5).
+                events.bump(fma_sig, 1);
+                events.bump(add_sig, 1);
+                (1, config.fpu_latency)
+            }
+            FpOp::Div => {
+                events.bump(div_sig, 1);
+                (config.fdiv_cycles, config.fdiv_cycles)
+            }
+            FpOp::Sqrt => {
+                events.bump(sqrt_sig, 1);
+                (config.fsqrt_cycles, config.fsqrt_cycles)
+            }
+            FpOp::Move | FpOp::Cmp => (1, 1),
+        };
+        *unit_free = issue + occupancy;
+        (issue, issue + latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2_isa::KernelBuilder;
+
+    fn node() -> Node {
+        Node::new(MachineConfig::nas_sp2())
+    }
+
+    /// A register-resident fma-saturation kernel: 8 independent fma
+    /// accumulator chains, no memory traffic.
+    fn fma_burst(iters: u64) -> Kernel {
+        let mut b = KernelBuilder::new("fma-burst");
+        let accs: Vec<_> = (0..8).map(|_| b.fresh_fpr()).collect();
+        let x = b.fresh_fpr();
+        let y = b.fresh_fpr();
+        for &acc in &accs {
+            b.fma_acc(acc, x, y);
+        }
+        b.loop_back();
+        b.build(iters)
+    }
+
+    #[test]
+    fn fma_burst_approaches_peak() {
+        let mut n = node();
+        let stats = n.run_kernel(&fma_burst(20_000));
+        let mflops = stats.mflops(n.config());
+        let peak = n.config().peak_mflops();
+        // Dual FPUs, independent chains: ≥ 85 % of 267 Mflops peak.
+        assert!(
+            mflops > 0.85 * peak,
+            "fma burst reached only {mflops:.1} of {peak:.1} Mflops"
+        );
+    }
+
+    #[test]
+    fn fpu_units_balance_on_independent_chains() {
+        let mut n = node();
+        let stats = n.run_kernel(&fma_burst(10_000));
+        let f0 = stats.events.get(Signal::Fpu0Exec) as f64;
+        let f1 = stats.events.get(Signal::Fpu1Exec) as f64;
+        let ratio = f0 / f1;
+        assert!(
+            (0.7..1.5).contains(&ratio),
+            "independent chains should balance FPUs, ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn dependent_chain_prefers_fpu0() {
+        // One serial dependency chain: every fma waits on the previous.
+        let mut b = KernelBuilder::new("serial");
+        let acc = b.fresh_fpr();
+        let x = b.fresh_fpr();
+        for _ in 0..8 {
+            b.fma_acc(acc, x, acc);
+        }
+        b.loop_back();
+        let k = b.build(5_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let f0 = stats.events.get(Signal::Fpu0Exec) as f64;
+        let f1 = stats.events.get(Signal::Fpu1Exec).max(1) as f64;
+        assert!(
+            f0 / f1 > 3.0,
+            "a serial chain should land almost entirely on FPU0 ({})",
+            f0 / f1
+        );
+    }
+
+    #[test]
+    fn streaming_load_misses_every_32_elements() {
+        let mut b = KernelBuilder::new("stream");
+        let a = b.seq_array(8, 32 << 20);
+        let x = b.load_double(a);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        let iters = 64_000;
+        let k = b.build(iters);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let misses = stats.events.get(Signal::DcacheMiss);
+        let expected = iters / 32;
+        assert!(
+            (misses as f64 - expected as f64).abs() / (expected as f64) < 0.05,
+            "expected ≈{expected} misses, got {misses}"
+        );
+        // TLB: one miss per 512 elements.
+        let tlb = stats.events.get(Signal::TlbMiss);
+        let expected_tlb = iters / 512;
+        assert!(
+            (tlb as f64 - expected_tlb as f64).abs() / (expected_tlb as f64) < 0.1,
+            "expected ≈{expected_tlb} TLB misses, got {tlb}"
+        );
+    }
+
+    #[test]
+    fn cache_resident_tile_stops_missing_once_warm() {
+        let mut b = KernelBuilder::new("tile");
+        let a = b.tile_array(8, 128 * 1024); // fits in 256 kB
+        let x = b.load_double(a);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        let k = b.build(100_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let misses = stats.events.get(Signal::DcacheMiss);
+        // Cold misses only: 128 kB / 256 B = 512 lines.
+        assert!(
+            misses <= 600,
+            "tile should only cold-miss (≤600), got {misses}"
+        );
+    }
+
+    #[test]
+    fn castouts_reported_for_streaming_stores() {
+        let mut b = KernelBuilder::new("store-stream");
+        let a = b.seq_array(8, 16 << 20);
+        let x = b.fresh_fpr();
+        b.store_double(a, x);
+        b.loop_back();
+        let k = b.build(64_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let castouts = stats.events.get(Signal::DcacheStore);
+        // 64 000 stores × 8 B touch 2048 lines, all dirtied; the 1024
+        // resident lines stay, the rest are evicted dirty.
+        assert!(
+            (900..1100).contains(&castouts),
+            "expected ≈1024 castouts, got {castouts}"
+        );
+    }
+
+    #[test]
+    fn divide_occupies_fpu_for_ten_cycles() {
+        use sp2_isa::op::{BrKind, FpOp, Op};
+        use sp2_isa::reg::RegId;
+        // Hand-built in-place divide (v = v / x) so the dependence is
+        // carried across iterations: steady state is one divide latency
+        // (10 cycles) per iteration.
+        let v = RegId::Fpr(0);
+        let x = RegId::Fpr(1);
+        let k = Kernel {
+            name: "div-loop".into(),
+            body: vec![
+                Inst::new(Op::Fp(FpOp::Div), Some(v), &[v, x]),
+                Inst::new(Op::Br(BrKind::LoopBack), None, &[]),
+            ],
+            iters: 1_000,
+            addr_gens: vec![],
+            code_lines: 1,
+            routine_period: 0,
+        };
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let cpi = stats.cycles as f64 / 1_000.0;
+        assert!(
+            (9.5..12.0).contains(&cpi),
+            "loop-carried divide should cost ≈10 cycles/iter, got {cpi:.1}"
+        );
+    }
+
+    #[test]
+    fn branches_counted_as_icu_type1() {
+        let mut b = KernelBuilder::new("br");
+        b.int_alu();
+        b.cond_reg();
+        b.loop_back();
+        let k = b.build(500);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        assert_eq!(stats.events.get(Signal::IcuType1), 500);
+        assert_eq!(stats.events.get(Signal::IcuType2), 500);
+    }
+
+    #[test]
+    fn intmul_and_intdiv_only_on_fxu1() {
+        let mut b = KernelBuilder::new("imuldiv");
+        b.int_mul();
+        b.int_div();
+        b.loop_back();
+        let k = b.build(300);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        assert_eq!(stats.events.get(Signal::Fxu1Exec), 600);
+        assert_eq!(stats.events.get(Signal::Fxu0Exec), 0);
+    }
+
+    #[test]
+    fn quad_load_readies_both_destinations() {
+        let mut b = KernelBuilder::new("quad");
+        let a = b.tile_array(16, 4096);
+        let (d0, d1) = b.load_quad(a);
+        let s = b.fadd(d0, d1);
+        let _ = b.fmul(s, d1);
+        b.loop_back();
+        let k = b.build(100);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        // One memory instruction per iteration, not two.
+        assert_eq!(stats.events.get(Signal::StorageRefs), 100);
+        assert_eq!(stats.events.fxu_total(), 100);
+    }
+
+    #[test]
+    fn determinism_across_identical_nodes() {
+        let k = fma_burst(2_000);
+        let mut n1 = Node::with_seed(MachineConfig::nas_sp2(), 7);
+        let mut n2 = Node::with_seed(MachineConfig::nas_sp2(), 7);
+        assert_eq!(n1.run_kernel(&k), n2.run_kernel(&k));
+    }
+
+    #[test]
+    fn run_does_not_mutate_kernel_generators() {
+        let mut b = KernelBuilder::new("imm");
+        let a = b.seq_array(8, 1 << 16);
+        let x = b.load_double(a);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        let k = b.build(1_000);
+        let mut n = node();
+        let s1 = n.run_kernel(&k);
+        n.reset_memory_state();
+        let s2 = n.run_kernel(&k);
+        assert_eq!(s1.events.get(Signal::DcacheMiss), s2.events.get(Signal::DcacheMiss));
+    }
+
+    #[test]
+    fn stall_cycles_accounted() {
+        let mut b = KernelBuilder::new("stalls");
+        let a = b.seq_array(256, 32 << 20); // one miss per access
+        let x = b.load_double(a);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        let k = b.build(10_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        assert!(stats.stall_cycles > 0);
+        assert!(stats.events.get(Signal::FxuStallCycles) == stats.stall_cycles);
+        // Every access misses: the stall share should dominate.
+        assert!(
+            stats.stall_cycles as f64 / stats.cycles as f64 > 0.5,
+            "line-stride streaming should be stall-dominated"
+        );
+    }
+
+    #[test]
+    fn icache_cold_fetch_counted_once_for_tight_loops() {
+        let k = fma_burst(1_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        assert_eq!(
+            stats.events.get(Signal::IcacheReload),
+            k.code_lines as u64,
+            "tight loop refetches only its cold footprint"
+        );
+        assert!(stats.events.get(Signal::InstFetches) >= 1_000);
+    }
+
+    #[test]
+    fn routine_switching_reloads_icache_when_footprint_exceeds_cache() {
+        let mut b = KernelBuilder::new("bigcode");
+        // Footprint 300 lines vs 256-line I-cache; switch every 10 iters.
+        b.code_footprint(300, 10);
+        let acc = b.fresh_fpr();
+        let x = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        let k = b.build(1_000);
+        let mut n = node();
+        let stats = n.run_kernel(&k);
+        let reloads = stats.events.get(Signal::IcacheReload);
+        // Cold (300) + 99 switches x 300.
+        assert_eq!(reloads, 300 + 99 * 300);
+    }
+}

@@ -1,0 +1,211 @@
+//! The system-wide collection daemon.
+//!
+//! "The RS2HPM daemon, executing on all nodes of the SP2, allows
+//! automatic sampling and data access over the network via TCP. At
+//! 15-minute intervals, the cron daemon runs a script to collect data
+//! from all the SP2 nodes which are available for user jobs … whether or
+//! not user processes are executing" (§3). Figure 1 is the daily
+//! aggregation of this trace; the "maximum 15-minute rate" statistic is
+//! its per-sample maximum.
+
+use crate::rates::RateReport;
+use serde::{Deserialize, Serialize};
+use sp2_hpm::{CounterDelta, CounterSnapshot, CounterSelection};
+
+/// The cron cadence: 15 minutes.
+pub const SAMPLE_INTERVAL_S: f64 = 900.0;
+
+/// Where the daemon reads counters from (the cluster implements this).
+pub trait CounterSource {
+    /// Number of nodes in the machine.
+    fn node_count(&self) -> usize;
+    /// Whether a node is currently available for sampling (powered,
+    /// reachable). Unavailable nodes are skipped, as on the real system.
+    fn node_available(&self, node: usize) -> bool;
+    /// Snapshot of a node's monitor.
+    fn snapshot(&self, node: usize) -> CounterSnapshot;
+}
+
+/// One 15-minute, machine-wide sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSample {
+    /// Sample time, seconds since campaign start.
+    pub t: f64,
+    /// Nodes that contributed.
+    pub nodes_sampled: usize,
+    /// Sum of all contributing nodes' deltas since the previous sample.
+    pub total: CounterDelta,
+    /// Machine-wide rates over the interval (sum over nodes).
+    pub rates: RateReport,
+}
+
+/// The collection daemon: holds the previous snapshot per node.
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    selection: CounterSelection,
+    prev: Vec<Option<CounterSnapshot>>,
+    samples: Vec<SystemSample>,
+}
+
+impl Daemon {
+    /// Creates the daemon for a machine of `nodes` nodes.
+    pub fn new(selection: CounterSelection, nodes: usize) -> Self {
+        Daemon {
+            selection,
+            prev: vec![None; nodes],
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs one collection pass at time `t`, appending a [`SystemSample`].
+    ///
+    /// Nodes seen for the first time only establish a baseline (no delta
+    /// can be formed), matching how the real script behaved after node
+    /// reboots.
+    pub fn collect<S: CounterSource>(&mut self, source: &S, t: f64) -> &SystemSample {
+        let n_slots = self.selection.len();
+        let mut total = CounterDelta::zero(n_slots);
+        let mut nodes_sampled = 0;
+        for node in 0..source.node_count() {
+            if !source.node_available(node) {
+                self.prev[node] = None;
+                continue;
+            }
+            let snap = source.snapshot(node);
+            if let Some(prev) = &self.prev[node] {
+                let d = CounterDelta::between(prev, &snap);
+                total.accumulate(&d);
+                nodes_sampled += 1;
+            }
+            self.prev[node] = Some(snap);
+        }
+        let interval = self
+            .samples
+            .last()
+            .map(|s| t - s.t)
+            .unwrap_or(SAMPLE_INTERVAL_S)
+            .max(1e-9);
+        let rates = RateReport::from_delta(&self.selection, &total, interval);
+        self.samples.push(SystemSample {
+            t,
+            nodes_sampled,
+            total,
+            rates,
+        });
+        self.samples.last().unwrap()
+    }
+
+    /// All samples collected so far.
+    pub fn samples(&self) -> &[SystemSample] {
+        &self.samples
+    }
+
+    /// The maximum per-sample machine Mflops — the paper's "maximum
+    /// 15-minute rate" (5.7 Gflops).
+    pub fn max_sample_mflops(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.rates.mflops)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2_hpm::{nas_selection, EventSet, Hpm, Mode, Signal};
+
+    /// A toy 3-node machine.
+    struct Toy {
+        hpms: Vec<Hpm>,
+        down: Vec<bool>,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy {
+                hpms: (0..3).map(|_| Hpm::new(nas_selection())).collect(),
+                down: vec![false; 3],
+            }
+        }
+        fn work(&mut self, node: usize, fxu0: u64) {
+            let mut e = EventSet::new();
+            e.bump(Signal::Fxu0Exec, fxu0);
+            self.hpms[node].absorb(&e, Mode::User);
+        }
+    }
+
+    impl CounterSource for Toy {
+        fn node_count(&self) -> usize {
+            3
+        }
+        fn node_available(&self, node: usize) -> bool {
+            !self.down[node]
+        }
+        fn snapshot(&self, node: usize) -> CounterSnapshot {
+            self.hpms[node].snapshot()
+        }
+    }
+
+    #[test]
+    fn first_pass_only_baselines() {
+        let mut toy = Toy::new();
+        toy.work(0, 100);
+        let mut d = Daemon::new(nas_selection(), 3);
+        let s = d.collect(&toy, 0.0);
+        assert_eq!(s.nodes_sampled, 0, "no prior snapshot, no delta");
+    }
+
+    #[test]
+    fn second_pass_sums_all_nodes() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        toy.work(0, 1_000);
+        toy.work(1, 500);
+        let s = d.collect(&toy, 900.0);
+        assert_eq!(s.nodes_sampled, 3);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], 1_500);
+    }
+
+    #[test]
+    fn unavailable_node_skipped_and_rebaselined() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        toy.down[2] = true;
+        toy.work(2, 999);
+        let s = d.collect(&toy, 900.0);
+        assert_eq!(s.nodes_sampled, 2, "down node skipped");
+        // Node comes back: first pass after return only baselines it.
+        toy.down[2] = false;
+        let s = d.collect(&toy, 1800.0);
+        assert_eq!(s.nodes_sampled, 2);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], 0);
+        // Next pass it contributes again.
+        toy.work(2, 10);
+        let s = d.collect(&toy, 2700.0);
+        assert_eq!(s.nodes_sampled, 3);
+        assert_eq!(s.total.user[slot], 10);
+    }
+
+    #[test]
+    fn max_sample_mflops_tracks_peak_interval() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        // Interval 1: one node does fma work.
+        let mut e = EventSet::new();
+        e.bump(Signal::Fpu0Fma, 900_000_000);
+        e.bump(Signal::Fpu0Add, 900_000_000);
+        toy.hpms[0].absorb(&e, Mode::User);
+        d.collect(&toy, 900.0);
+        // Interval 2: idle.
+        d.collect(&toy, 1800.0);
+        // Peak: 1.8e9 flops / 900 s = 2 Mflops machine-wide.
+        assert!((d.max_sample_mflops() - 2.0).abs() < 1e-9);
+        assert_eq!(d.samples().len(), 3);
+    }
+}

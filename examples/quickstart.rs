@@ -1,0 +1,50 @@
+//! Quickstart: profile a kernel with the POWER2 hardware performance
+//! monitor the way an RS2HPM user would have.
+//!
+//! Prints the Table-1 counter configuration, runs the paper's 240 Mflops
+//! blocked matrix multiply on one simulated node under an open counter
+//! session, and reports the measured rates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sp2_repro::core::experiments::table1;
+use sp2_repro::hpm::{nas_selection, Hpm, Mode};
+use sp2_repro::power2::{MachineConfig, Node};
+use sp2_repro::rs2hpm::CounterSession;
+use sp2_repro::workload::blocked_matmul_kernel;
+
+fn main() {
+    // 1. The counter configuration NAS ran for nine months (Table 1).
+    println!("{}", table1::run().render());
+
+    // 2. One RS6000/590 node with its monitor.
+    let machine = MachineConfig::nas_sp2();
+    let mut node = Node::with_seed(machine, 7);
+    let mut hpm = Hpm::new(nas_selection());
+
+    // 3. Open a counter session (the `rs2hpm start` the paper's users put
+    //    in their batch scripts), run the kernel, close the session.
+    let session = CounterSession::open(&hpm, 0.0);
+    let kernel = blocked_matmul_kernel(200_000);
+    let stats = node.run_kernel(&kernel);
+    hpm.absorb(&stats.events, Mode::User);
+    let elapsed = machine.cycles_to_seconds(stats.cycles);
+    let (_delta, report) = session.close(&hpm, elapsed);
+
+    // 4. The user-visible report.
+    println!("kernel: {}", kernel.name);
+    println!("  elapsed          {:.4} s ({} cycles)", elapsed, stats.cycles);
+    println!("  Mflops           {:>7.1}  (paper: ~240, peak {:.0})", report.mflops, machine.peak_mflops());
+    println!("  Mips             {:>7.1}", report.mips);
+    println!("  flops/memref     {:>7.2}  (paper: 3.0 for this kernel)", report.flops_per_memref());
+    println!("  FPU0/FPU1        {:>7.2}", report.fpu0_fpu1_ratio());
+    println!("  cache-miss ratio {:>6.2} %", report.cache_miss_ratio() * 100.0);
+    println!("  TLB-miss ratio   {:>6.3} %", report.tlb_miss_ratio() * 100.0);
+    println!("  fma flop share   {:>6.1} %", report.fma_flop_fraction() * 100.0);
+    println!(
+        "  Mflops-div       {:>7.1}  (always 0.0: the monitor's divide erratum)",
+        report.mflops_div
+    );
+}

@@ -1,0 +1,56 @@
+//! Archive round-trip: the epilogue report files are the campaign's
+//! durable record ("written to a file for later processing and viewing",
+//! §3). Writing every job report in the RS2HPM text format and parsing
+//! them back must reproduce the figures bit-for-bit — the property the
+//! paper's own later analysis of its nine-month archive depended on.
+
+use sp2_repro::cluster::{run_campaign, ClusterConfig};
+use sp2_repro::rs2hpm::{parse_job_report, write_job_report, JobCounterReport};
+use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+#[test]
+fn figures_survive_the_text_archive() {
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 31);
+    let spec = CampaignSpec {
+        days: 5,
+        seed: 17,
+        ..Default::default()
+    };
+    let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+    let campaign = run_campaign(&config, &library, &jobs, spec.days);
+    assert!(!campaign.job_reports.is_empty());
+
+    // Archive every report as the epilogue file, then re-parse.
+    let selection = &campaign.selection;
+    let archived: Vec<JobCounterReport> = campaign
+        .job_reports
+        .iter()
+        .map(|r| {
+            let text = write_job_report(r, selection);
+            parse_job_report(&text, selection).expect("own archive parses")
+        })
+        .collect();
+
+    for (orig, parsed) in campaign.job_reports.iter().zip(&archived) {
+        assert_eq!(orig.job_id, parsed.job_id);
+        assert_eq!(orig.nodes, parsed.nodes);
+        assert_eq!(orig.total, parsed.total);
+        // Rates are recomputed from counters; they must agree to float
+        // precision with the live values.
+        assert!((orig.rates.mflops - parsed.rates.mflops).abs() < 1e-9);
+        assert!(
+            (orig.rates.system_user_fxu_ratio - parsed.rates.system_user_fxu_ratio).abs() < 1e-9
+        );
+        assert_eq!(orig.paging_suspected(), parsed.paging_suspected());
+    }
+
+    // Figure-level check: per-node rates derived from the archive match.
+    let live: f64 = campaign
+        .job_reports
+        .iter()
+        .map(JobCounterReport::mflops_per_node)
+        .sum();
+    let replay: f64 = archived.iter().map(JobCounterReport::mflops_per_node).sum();
+    assert!((live - replay).abs() < 1e-6);
+}

@@ -1,0 +1,55 @@
+//! Bit-reproducibility: the whole campaign is a pure function of its
+//! seeds, so two runs produce identical datasets (the property the bench
+//! harness and EXPERIMENTS.md regeneration rely on).
+
+use sp2_repro::cluster::{run_campaign, ClusterConfig};
+use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+#[test]
+fn identical_seeds_identical_campaigns() {
+    let run = || {
+        let config = ClusterConfig::default();
+        let library = WorkloadLibrary::build(&config.machine, 123);
+        let spec = CampaignSpec {
+            days: 3,
+            seed: 45,
+            ..Default::default()
+        };
+        let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+        run_campaign(&config, &library, &jobs, spec.days)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.t, y.t);
+        assert_eq!(x.total, y.total);
+    }
+    assert_eq!(a.job_reports.len(), b.job_reports.len());
+    for (x, y) in a.job_reports.iter().zip(&b.job_reports) {
+        assert_eq!(x.job_id, y.job_id);
+        assert_eq!(x.total, y.total);
+    }
+    assert_eq!(a.pbs_records, b.pbs_records);
+}
+
+#[test]
+fn different_seeds_different_campaigns() {
+    let run = |seed: u64| {
+        let config = ClusterConfig::default();
+        let library = WorkloadLibrary::build(&config.machine, 123);
+        let spec = CampaignSpec {
+            days: 3,
+            seed,
+            ..Default::default()
+        };
+        let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+        run_campaign(&config, &library, &jobs, spec.days)
+    };
+    let a = run(1);
+    let b = run(2);
+    // The traces differ, so the datasets must differ somewhere.
+    let a_total: u64 = a.samples.iter().map(|s| s.total.user.iter().sum::<u64>()).sum();
+    let b_total: u64 = b.samples.iter().map(|s| s.total.user.iter().sum::<u64>()).sum();
+    assert_ne!(a_total, b_total);
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration: a full (short) measurement campaign through
+//! every substrate, checked against the paper's qualitative findings.
+
+use sp2_repro::core::experiments::{fig1, fig2, fig3, fig4, fig5, table2, table3, table4};
+use sp2_repro::core::Sp2System;
+use std::sync::{Mutex, OnceLock};
+
+/// One shared 30-day campaign for the whole binary (library measurement
+/// dominates setup cost).
+fn system() -> &'static Mutex<Sp2System> {
+    static SYS: OnceLock<Mutex<Sp2System>> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut sys = Sp2System::nas_1996(30);
+        let _ = sys.campaign();
+        Mutex::new(sys)
+    })
+}
+
+#[test]
+fn campaign_has_complete_datasets() {
+    let mut sys = system().lock().unwrap();
+    let c = sys.campaign();
+    assert_eq!(c.days, 30);
+    assert_eq!(c.node_count, 144);
+    assert_eq!(c.samples.len(), 30 * 96 + 1, "15-minute cadence plus baseline");
+    assert!(c.job_reports.len() > 300, "a month of jobs completed");
+    assert!(c.pbs_records.len() >= c.job_reports.len());
+}
+
+#[test]
+fn headline_band_the_machine_runs_at_a_few_percent_of_peak() {
+    let mut sys = system().lock().unwrap();
+    let peak_gflops = 144.0 * sys.config().machine.peak_mflops() / 1000.0; // ≈38.4
+    let c = sys.campaign();
+    let mean = c.mean_daily_gflops();
+    let efficiency = mean / peak_gflops;
+    // Paper: ≈1.3 Gflops ≈ 3 % of peak. Shape band: 2–6 %.
+    assert!(
+        (0.02..0.06).contains(&efficiency),
+        "system efficiency {:.1} % outside the paper's band (mean {:.2} Gflops)",
+        efficiency * 100.0,
+        mean
+    );
+}
+
+#[test]
+fn moderate_parallelism_dominates() {
+    let mut sys = system().lock().unwrap();
+    let f2 = fig2::run(sys.campaign());
+    assert_eq!(f2.mode_nodes, Some(16));
+    assert!(f2.fraction_above_64 < 0.08);
+}
+
+#[test]
+fn per_node_rate_collapses_beyond_64_nodes() {
+    let mut sys = system().lock().unwrap();
+    let f3 = fig3::run(sys.campaign());
+    if f3.large_mean > 0.0 {
+        assert!(f3.small_mean > 1.5 * f3.large_mean);
+    }
+}
+
+#[test]
+fn sixteen_node_history_shows_no_improvement_trend() {
+    let mut sys = system().lock().unwrap();
+    let f4 = fig4::run(sys.campaign());
+    assert!(f4.points.len() > 100);
+    let drift = f4.trend_mflops_per_job.abs() * f4.points.len() as f64;
+    assert!(drift < 2.0 * f4.std, "drift {drift:.0} vs std {:.0}", f4.std);
+}
+
+#[test]
+fn paging_explains_poor_performance() {
+    let mut sys = system().lock().unwrap();
+    let f5 = fig5::run(sys.campaign());
+    assert!(f5.correlation < -0.3, "Figure 5 trend: {:.2}", f5.correlation);
+    assert!(f5.paging_suspected > 0, "some jobs must page");
+}
+
+#[test]
+fn tables_2_and_3_are_mutually_consistent() {
+    let mut sys = system().lock().unwrap();
+    let c = sys.campaign();
+    let t2 = table2::run(c);
+    let t3 = table3::run(c);
+    if t2.good_days == 0 {
+        return;
+    }
+    // Table 2's Mflops row equals Table 3's Mflops-All row.
+    let t2_mflops = t2.rows.iter().find(|r| r.name == "Mflops").unwrap().avg;
+    let t3_all = t3.rows.iter().find(|r| r.name == "Mflops-All").unwrap().avg;
+    assert!((t2_mflops - t3_all).abs() < 1e-9);
+    // Derived ratios in the paper's bands (shape, not absolutes).
+    assert!((0.4..0.75).contains(&t3.fma_flop_fraction), "fma share {}", t3.fma_flop_fraction);
+    assert!((1.2..2.8).contains(&t3.fpu0_fpu1_ratio), "fpu ratio {}", t3.fpu0_fpu1_ratio);
+    assert!((0.004..0.02).contains(&t3.cache_miss_ratio), "cmr {}", t3.cache_miss_ratio);
+    assert!((0.0003..0.002).contains(&t3.tlb_miss_ratio), "tlb {}", t3.tlb_miss_ratio);
+    assert!(
+        (0.05..0.2).contains(&t3.delay_per_memref),
+        "delay/memref {} (paper ≈0.12 cycles)",
+        t3.delay_per_memref
+    );
+}
+
+#[test]
+fn table4_orders_workloads_correctly() {
+    let mut sys = system().lock().unwrap();
+    let machine = sys.config().machine;
+    let t4 = table4::run(sys.campaign(), &machine);
+    let wl = &t4.columns[0];
+    let seq = &t4.columns[1];
+    let bt = &t4.columns[2];
+    // Sequential streaming misses most; the tuned BT beats the workload.
+    assert!(seq.cache_miss_ratio > wl.cache_miss_ratio);
+    assert!(bt.mflops_per_cpu.unwrap() > wl.mflops_per_cpu.unwrap());
+    assert!(bt.tlb_miss_ratio < seq.tlb_miss_ratio);
+}
+
+#[test]
+fn figure1_peaks_order_correctly() {
+    let mut sys = system().lock().unwrap();
+    let f1 = fig1::run(sys.campaign());
+    assert!(f1.max_15min_gflops >= f1.max_daily_gflops);
+    assert!(f1.max_daily_gflops >= f1.mean_gflops);
+    assert!(f1.max_daily_utilization <= 1.0);
+    // The machine is never beyond its physical peak.
+    assert!(f1.max_15min_gflops < 144.0 * sys.config().machine.peak_mflops() / 1000.0);
+}

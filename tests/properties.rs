@@ -1,0 +1,156 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use sp2_repro::hpm::{nas_selection, CounterDelta, EventSet, Hpm, Mode, Signal};
+use sp2_repro::isa::{AddrGen, AddrPattern};
+use sp2_repro::power2::{Cache, CacheConfig};
+use sp2_repro::stats::{centered_moving_average, trailing_moving_average, Histogram, Summary};
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    prop::sample::select(Signal::ALL.to_vec())
+}
+
+proptest! {
+    /// EventSet scaling is monotone and exact at unit scale.
+    #[test]
+    fn eventset_scaling(counts in prop::collection::vec((arb_signal(), 0u64..1_000_000), 0..8),
+                        num in 1u64..1000, den in 1u64..1000) {
+        let mut e = EventSet::new();
+        for (s, n) in &counts {
+            e.bump(*s, *n);
+        }
+        let scaled = e.scaled(num, den);
+        for s in Signal::ALL {
+            let orig = e.get(s);
+            let got = scaled.get(s);
+            // got ≈ orig * num / den, within rounding.
+            let exact = orig as f64 * num as f64 / den as f64;
+            prop_assert!((got as f64 - exact).abs() <= 0.5 + 1e-9);
+        }
+        prop_assert_eq!(e.scaled(1, 1), e);
+    }
+
+    /// Counter absorb + delta roundtrips every watched signal, in both
+    /// modes, regardless of magnitude (64-bit virtualization).
+    #[test]
+    fn hpm_delta_roundtrip(user in 0u64..u64::MAX / 4, system in 0u64..u64::MAX / 4,
+                           signal in arb_signal()) {
+        let sel = nas_selection();
+        prop_assume!(sel.watches(signal));
+        prop_assume!(!signal.has_div_erratum());
+        let mut hpm = Hpm::new(sel.clone());
+        let before = hpm.snapshot();
+        let mut u = EventSet::new();
+        u.bump(signal, user);
+        hpm.absorb(&u, Mode::User);
+        let mut s = EventSet::new();
+        s.bump(signal, system);
+        hpm.absorb(&s, Mode::System);
+        let d = CounterDelta::between(&before, &hpm.snapshot());
+        let slot = sel.slot_of(signal).unwrap();
+        prop_assert_eq!(d.user[slot], user);
+        prop_assert_eq!(d.system[slot], system);
+    }
+
+    /// The divide erratum loses div counts for any magnitude.
+    #[test]
+    fn div_erratum_always_loses(divs in 1u64..u64::MAX / 4) {
+        let sel = nas_selection();
+        let mut hpm = Hpm::new(sel.clone());
+        let mut e = EventSet::new();
+        e.bump(Signal::Fpu0Div, divs);
+        hpm.absorb(&e, Mode::User);
+        let slot = sel.slot_of(Signal::Fpu0Div).unwrap();
+        prop_assert_eq!(hpm.snapshot().user[slot], 0);
+    }
+
+    /// Histogram conserves mass (within clamping into the last bin).
+    #[test]
+    fn histogram_mass_conserved(items in prop::collection::vec((0usize..200, 0.0f64..1e6), 0..50)) {
+        let mut h = Histogram::new(144);
+        let mut expected = 0.0;
+        for (cat, w) in &items {
+            h.add(*cat, *w);
+            expected += w;
+        }
+        prop_assert!((h.total() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// Moving averages stay within the series' min..max envelope.
+    #[test]
+    fn moving_average_bounded(series in prop::collection::vec(-1e6f64..1e6, 1..100),
+                              window in 1usize..20) {
+        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in trailing_moving_average(&series, window) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        for v in centered_moving_average(&series, window) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// Welford summary matches naive two-pass statistics.
+    #[test]
+    fn summary_matches_naive(series in prop::collection::vec(-1e4f64..1e4, 2..200)) {
+        let s = Summary::of(&series);
+        let n = series.len() as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.std() - var.sqrt()).abs() < 1e-5 * var.sqrt().max(1.0));
+    }
+
+    /// Cache behaviour: hits + misses = accesses, and a working set that
+    /// fits in one way's worth of sets never self-conflicts.
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut cache = Cache::new(CacheConfig {
+            bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 256,
+        });
+        let mut hits = 0u32;
+        let mut misses = 0u32;
+        for &a in &addrs {
+            if cache.access(a, false).hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        prop_assert_eq!(hits + misses, addrs.len() as u32);
+        let distinct_lines: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / 256).collect();
+        prop_assert!(misses as usize >= distinct_lines.len().min(cache.config().lines()) / 4,
+            "misses cannot be fewer than cold-fills modulo capacity");
+        // Re-walking the same addresses yields pure hits when no set is
+        // oversubscribed (conflict misses need > `ways` lines per set).
+        let mut per_set = std::collections::HashMap::new();
+        for &l in &distinct_lines {
+            *per_set.entry(l % 64).or_insert(0u32) += 1;
+        }
+        if per_set.values().all(|&n| n <= 4) {
+            for &a in &addrs {
+                prop_assert!(cache.access(a, false).hit);
+            }
+        }
+    }
+
+    /// Address generators are deterministic and respect their windows.
+    #[test]
+    fn addrgen_deterministic(seed_base in 0u64..1 << 30, n in 1usize..200) {
+        let pattern = AddrPattern::Seq {
+            base: seed_base,
+            stride: 8,
+            span: 1 << 20,
+        };
+        let mut a = AddrGen::new(pattern);
+        let mut b = AddrGen::new(pattern);
+        for _ in 0..n {
+            let x = a.next_addr();
+            prop_assert_eq!(x, b.next_addr());
+            prop_assert!(x >= seed_base && x < seed_base + (1 << 20));
+        }
+    }
+}
