@@ -16,7 +16,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rayon::prelude::*;
 use sp2_cluster::{run_campaign, ClusterConfig, PagingModel};
-use sp2_core::experiments::{fig2, fig5};
+use sp2_core::experiments::experiment;
+use sp2_core::Json;
 use sp2_hpm::{nas_selection, EventSet, Hpm, Mode, Signal};
 use sp2_power2::{FpuDispatch, MachineConfig, Node, WritePolicy};
 use sp2_workload::{
@@ -137,18 +138,25 @@ fn print_cluster_ablations() {
         .map(|cfg| run_campaign(cfg, &library, &jobs, spec.days))
         .collect();
 
-    let f5_base = fig5::run(&results[0]);
-    let f5_off = fig5::run(&results[1]);
+    let stat = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let fig5 = experiment("fig5").expect("registered");
+    let f5_base = fig5.to_json(&results[0]);
+    let f5_off = fig5.to_json(&results[1]);
     println!(
-        "[ablation 6] Figure-5 correlation: paging on {:.2} (jobs sys>user: {}) vs off {:.2} ({}) — the collapse needs the paging model",
-        f5_base.correlation, f5_base.paging_suspected, f5_off.correlation, f5_off.paging_suspected
+        "[ablation 6] Figure-5 correlation: paging on {:.2} (jobs sys>user: {:.0}) vs off {:.2} ({:.0}) — the collapse needs the paging model",
+        stat(&f5_base, "correlation"),
+        stat(&f5_base, "paging_suspected"),
+        stat(&f5_off, "correlation"),
+        stat(&f5_off, "paging_suspected")
     );
 
-    let f2_base = fig2::run(&results[0]);
-    let f2_nodrain = fig2::run(&results[2]);
+    let fig2 = experiment("fig2").expect("registered");
+    let f2_base = fig2.to_json(&results[0]);
+    let f2_nodrain = fig2.to_json(&results[2]);
     println!(
         "[ablation 7] walltime fraction above 64 nodes: drain@64 {:.3} vs no drain {:.3}",
-        f2_base.fraction_above_64, f2_nodrain.fraction_above_64
+        stat(&f2_base, "fraction_above_64"),
+        stat(&f2_nodrain, "fraction_above_64")
     );
 }
 

@@ -1,15 +1,21 @@
 //! Regenerates the §5 calibration points (240 Mflops blocked matmul,
-//! workload kernel, BT, sequential access) and benchmarks the node
-//! simulator itself on the two extremes.
+//! workload kernel, BT, sequential access) through the experiment
+//! registry and benchmarks the node simulator itself on the two
+//! extremes.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sp2_core::experiments::calibration;
+use sp2_cluster::CampaignResult;
+use sp2_core::experiments::experiment;
+use sp2_hpm::nas_selection;
 use sp2_power2::{MachineConfig, Node};
 use sp2_workload::{blocked_matmul_kernel, cfd_kernel, CfdKernelParams};
 
 fn bench(c: &mut Criterion) {
     let machine = MachineConfig::nas_sp2();
-    println!("{}", calibration::run(&machine).render());
+    let e = experiment("calibration").expect("registered");
+    // Calibration measures reference kernels directly — no campaign.
+    let empty = CampaignResult::empty(machine, nas_selection());
+    println!("{}", e.render(&empty));
 
     let mm = blocked_matmul_kernel(10_000);
     let cfd = cfd_kernel("bench-cfd", &CfdKernelParams::default(), 10_000);

@@ -1,0 +1,46 @@
+//! Campaign-engine throughput: days simulated per second, serial vs
+//! threaded, plus parallel seed-sharded replications.
+//!
+//! Criterion's `Throughput::Elements` counts simulated days, so reports
+//! read directly as days-simulated/sec. The harness prints the available
+//! core count first: on a single-core host the threaded variants measure
+//! the engine's coordination overhead, not a speedup — judge scaling
+//! claims against the printed core count, and verify equivalence via the
+//! determinism tests (`tests/determinism.rs`), which assert serial and
+//! parallel campaigns are bit-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp2_cluster::{run_campaign_with_threads, run_replications, ClusterConfig};
+use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+fn bench(c: &mut Criterion) {
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 1998);
+    let days = 5u32;
+    let mix = JobMix::nas();
+    let spec = CampaignSpec {
+        days,
+        ..Default::default()
+    };
+    let jobs = trace::generate(&spec, &mix, &library);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("campaign_throughput: {cores} core(s) available; throughput unit = simulated days");
+
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(u64::from(days)));
+    g.bench_function("serial_1_thread", |b| {
+        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1))
+    });
+    g.bench_function("all_cores", |b| {
+        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 0))
+    });
+    g.throughput(Throughput::Elements(4 * u64::from(days)));
+    g.bench_function("replications_x4", |b| {
+        b.iter(|| run_replications(&config, &library, &mix, &spec, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,24 +1,28 @@
-//! Regenerates Figure 1 (system performance history) and benchmarks the
-//! daily aggregation plus a short end-to-end campaign.
+//! Regenerates Figure 1 (system performance history) through the
+//! experiment registry and benchmarks the daily aggregation plus a short
+//! end-to-end campaign.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
 use sp2_cluster::{run_campaign, ClusterConfig};
-use sp2_core::experiments::fig1;
+use sp2_core::experiments::experiment;
+use sp2_core::Json;
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    let f = fig1::run(campaign);
+    let e = experiment("fig1").expect("registered");
+    let d = e.run(campaign);
+    let stat = |key: &str| d.json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
     println!(
         "Figure 1: mean {:.2} Gflops, util {:.0}%, max day {:.2}, max 15-min {:.2}",
-        f.mean_gflops,
-        f.mean_utilization * 100.0,
-        f.max_daily_gflops,
-        f.max_15min_gflops
+        stat("mean_gflops"),
+        stat("mean_utilization") * 100.0,
+        stat("max_daily_gflops"),
+        stat("max_15min_gflops")
     );
-    c.bench_function("fig1/analysis", |b| b.iter(|| fig1::run(campaign)));
+    c.bench_function("fig1/analysis", |b| b.iter(|| e.run(campaign)));
 
     // End-to-end: a 3-day campaign through PBS + daemon + paging.
     let config = ClusterConfig::default();

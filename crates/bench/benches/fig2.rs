@@ -1,15 +1,16 @@
-//! Regenerates Figure 2 (walltime vs nodes requested) and benchmarks the
-//! PBS-accounting histogram.
+//! Regenerates Figure 2 (walltime vs nodes requested) through the
+//! experiment registry and benchmarks the PBS-accounting histogram.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::fig2;
+use sp2_core::experiments::experiment;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    println!("{}", fig2::run(campaign).render());
-    c.bench_function("fig2/analysis", |b| b.iter(|| fig2::run(campaign)));
+    let e = experiment("fig2").expect("registered");
+    println!("{}", e.render(campaign));
+    c.bench_function("fig2/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

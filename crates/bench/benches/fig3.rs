@@ -1,15 +1,17 @@
-//! Regenerates Figure 3 (per-node performance vs nodes requested) and
-//! benchmarks the per-job aggregation.
+//! Regenerates Figure 3 (per-node performance vs nodes requested)
+//! through the experiment registry and benchmarks the per-job
+//! aggregation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::fig3;
+use sp2_core::experiments::experiment;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    println!("{}", fig3::run(campaign).render());
-    c.bench_function("fig3/analysis", |b| b.iter(|| fig3::run(campaign)));
+    let e = experiment("fig3").expect("registered");
+    println!("{}", e.render(campaign));
+    c.bench_function("fig3/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

@@ -1,22 +1,30 @@
-//! Regenerates Figure 4 (16-node performance histories) and benchmarks
-//! the history extraction.
+//! Regenerates Figure 4 (16-node performance histories) through the
+//! experiment registry and benchmarks the history extraction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::fig4;
+use sp2_core::experiments::experiment;
+use sp2_core::Json;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    let f = fig4::run(campaign);
+    let e = experiment("fig4").expect("registered");
+    let d = e.run(campaign);
+    let stat = |key: &str| d.json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let jobs = d
+        .json
+        .get("points")
+        .and_then(Json::as_arr)
+        .map_or(0, |p| p.len());
     println!(
         "Figure 4: {} 16-node jobs, mean {:.0} Mflops, std {:.0}, trend {:+.3}/job",
-        f.points.len(),
-        f.mean,
-        f.std,
-        f.trend_mflops_per_job
+        jobs,
+        stat("mean"),
+        stat("std"),
+        stat("trend_mflops_per_job")
     );
-    c.bench_function("fig4/analysis", |b| b.iter(|| fig4::run(campaign)));
+    c.bench_function("fig4/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

@@ -1,15 +1,16 @@
-//! Regenerates Figure 5 (performance vs system intervention) and
-//! benchmarks the binned-scatter reduction.
+//! Regenerates Figure 5 (performance vs system intervention) through
+//! the experiment registry and benchmarks the binned-scatter reduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::fig5;
+use sp2_core::experiments::experiment;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    println!("{}", fig5::run(campaign).render());
-    c.bench_function("fig5/analysis", |b| b.iter(|| fig5::run(campaign)));
+    let e = experiment("fig5").expect("registered");
+    println!("{}", e.render(campaign));
+    c.bench_function("fig5/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

@@ -1,36 +1,20 @@
 //! The §7 extension: a campaign under the io-aware counter selection,
 //! demonstrating the I/O-wait attribution the paper recommended future
 //! sites adopt — and what the selection trade costs (castout visibility).
+//! The experiment declares its selection; `Sp2System::campaign_for` runs
+//! the campaign under it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_days;
-use sp2_core::experiments::iowait;
+use sp2_core::experiments::experiment;
 use sp2_core::Sp2System;
-use sp2_cluster::ClusterConfig;
-use sp2_hpm::io_aware_selection;
-use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
 
 fn bench(c: &mut Criterion) {
-    let config = ClusterConfig {
-        selection: io_aware_selection(),
-        ..Default::default()
-    };
-    let library = WorkloadLibrary::build(&config.machine, 1998);
-    let clock = config.machine.clock_hz;
-    let mut sys = Sp2System::custom(
-        config,
-        library,
-        JobMix::nas(),
-        CampaignSpec {
-            days: bench_days(),
-            ..Default::default()
-        },
-    );
-    let campaign = sys.campaign();
-    println!("{}", iowait::run(campaign, clock).render());
-    c.bench_function("iowait/analysis", |b| {
-        b.iter(|| iowait::run(campaign, clock))
-    });
+    let mut sys = Sp2System::builder().days(bench_days()).build();
+    let e = experiment("iowait").expect("registered");
+    let campaign = sys.campaign_for(e.selection());
+    println!("{}", e.render(campaign));
+    c.bench_function("iowait/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

@@ -1,16 +1,19 @@
-//! Regenerates Table 1 (the NAS counter selection) and benchmarks the
-//! selection validation path.
+//! Regenerates Table 1 (the NAS counter selection) through the
+//! experiment registry and benchmarks the selection validation path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sp2_core::experiments::table1;
+use sp2_cluster::CampaignResult;
+use sp2_core::experiments::experiment;
+use sp2_hpm::nas_selection;
+use sp2_power2::MachineConfig;
 
 fn bench(c: &mut Criterion) {
-    let t = table1::run();
-    println!("{}", t.render());
-    c.bench_function("table1/regenerate", |b| b.iter(table1::run));
-    c.bench_function("table1/selection_build", |b| {
-        b.iter(sp2_hpm::nas_selection)
-    });
+    let e = experiment("table1").expect("registered");
+    // Table 1 is campaign-independent.
+    let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
+    println!("{}", e.render(&empty));
+    c.bench_function("table1/regenerate", |b| b.iter(|| e.run(&empty)));
+    c.bench_function("table1/selection_build", |b| b.iter(sp2_hpm::nas_selection));
 }
 
 criterion_group!(benches, bench);

@@ -1,15 +1,17 @@
-//! Regenerates Table 2 (Mips/Mops/Mflops over the good-day subset) from
-//! a campaign and benchmarks the daily-rate aggregation.
+//! Regenerates Table 2 (Mips/Mops/Mflops over the good-day subset)
+//! through the experiment registry and benchmarks the daily-rate
+//! aggregation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::table2;
+use sp2_core::experiments::experiment;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    println!("{}", table2::run(campaign).render());
-    c.bench_function("table2/analysis", |b| b.iter(|| table2::run(campaign)));
+    let e = experiment("table2").expect("registered");
+    println!("{}", e.render(campaign));
+    c.bench_function("table2/analysis", |b| b.iter(|| e.run(campaign)));
     c.bench_function("table2/daily_node_rates", |b| {
         b.iter(|| campaign.daily_node_rates())
     });

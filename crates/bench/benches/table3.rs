@@ -1,15 +1,17 @@
-//! Regenerates Table 3 (the full per-unit rate breakdown) and benchmarks
-//! its aggregation over the campaign samples.
+//! Regenerates Table 3 (the full per-unit rate breakdown) through the
+//! experiment registry and benchmarks its aggregation over the campaign
+//! samples.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::table3;
+use sp2_core::experiments::experiment;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let campaign = sys.campaign();
-    println!("{}", table3::run(campaign).render());
-    c.bench_function("table3/analysis", |b| b.iter(|| table3::run(campaign)));
+    let e = experiment("table3").expect("registered");
+    println!("{}", e.render(campaign));
+    c.bench_function("table3/analysis", |b| b.iter(|| e.run(campaign)));
 }
 
 criterion_group!(benches, bench);

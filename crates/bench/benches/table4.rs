@@ -1,10 +1,11 @@
-//! Regenerates Table 4 (hierarchical memory performance) — the workload
-//! column from the campaign, the reference columns from direct kernel
-//! measurement — and benchmarks the reference-kernel simulations.
+//! Regenerates Table 4 (hierarchical memory performance) through the
+//! experiment registry — the workload column from the campaign, the
+//! reference columns from direct kernel measurement — and benchmarks the
+//! reference-kernel simulations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::table4;
+use sp2_core::experiments::experiment;
 use sp2_power2::measure_on_fresh_node;
 use sp2_workload::seqaccess_kernel;
 
@@ -12,10 +13,11 @@ fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let machine = sys.config().machine;
     let campaign = sys.campaign();
-    println!("{}", table4::run(campaign, &machine).render());
+    let e = experiment("table4").expect("registered");
+    println!("{}", e.render(campaign));
     let mut g = c.benchmark_group("table4");
     g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| table4::run(campaign, &machine)));
+    g.bench_function("full", |b| b.iter(|| e.run(campaign)));
     g.bench_function("seqaccess_measurement", |b| {
         b.iter(|| measure_on_fresh_node(&seqaccess_kernel(50_000), &machine, 1))
     });

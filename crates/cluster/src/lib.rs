@@ -25,5 +25,8 @@ pub mod state;
 pub use activity::ActivityPlan;
 pub use paging::PagingModel;
 pub use result::CampaignResult;
-pub use sim::{run_campaign, ClusterConfig};
+pub use sim::{
+    run_campaign, run_campaign_with_threads, run_replications, ClusterConfig, ClusterConfigBuilder,
+    ClusterConfigError,
+};
 pub use state::NodeState;

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sp2_hpm::CounterSelection;
 use sp2_pbs::{utilization, JobRecord};
+use sp2_power2::MachineConfig;
 use sp2_rs2hpm::{JobCounterReport, RateReport, SystemSample};
 use sp2_stats::TimeSeries;
 
@@ -16,6 +17,11 @@ pub struct CampaignResult {
     pub days: u32,
     /// Machine size.
     pub node_count: usize,
+    /// Per-node machine parameters the campaign ran with. Carried along
+    /// so downstream analyses (Table 4's probes, the calibration suite,
+    /// peak-rate normalization) need no side channel for the hardware
+    /// description.
+    pub machine: MachineConfig,
     /// The counter selection the monitors ran.
     pub selection: CounterSelection,
     /// The daemon's 15-minute machine-wide samples.
@@ -27,6 +33,21 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// A zero-day result carrying only the machine description. Campaign-
+    /// independent experiments (Table 1, the calibration suite) run
+    /// against this so every experiment shares one entry-point signature.
+    pub fn empty(machine: MachineConfig, selection: CounterSelection) -> Self {
+        CampaignResult {
+            days: 0,
+            node_count: 0,
+            machine,
+            selection,
+            samples: Vec::new(),
+            job_reports: Vec::new(),
+            pbs_records: Vec::new(),
+        }
+    }
+
     /// Machine Gflops as a time series over the daemon samples.
     pub fn gflops_series(&self) -> TimeSeries {
         let mut ts = TimeSeries::new();
@@ -175,17 +196,16 @@ mod tests {
         CampaignResult {
             days: 2,
             node_count: 144,
+            machine: MachineConfig::nas_sp2(),
             selection: selection.clone(),
             samples,
             job_reports: vec![],
-            pbs_records: vec![
-                JobRecord {
-                    id: 1,
-                    nodes: 72,
-                    start: DAY_S,
-                    end: 2.0 * DAY_S,
-                },
-            ],
+            pbs_records: vec![JobRecord {
+                id: 1,
+                nodes: 72,
+                start: DAY_S,
+                end: 2.0 * DAY_S,
+            }],
         }
     }
 
@@ -232,7 +252,11 @@ mod tests {
         // Day 1: 96 x 2.25e12 flops / (86400 x 144) node-s ≈ 17.4 Mflops
         // — reassuringly, exactly Table 3's per-node scale for a
         // 2.5 Gflops day.
-        assert!((rates[1].mflops - 17.36).abs() < 0.05, "{}", rates[1].mflops);
+        assert!(
+            (rates[1].mflops - 17.36).abs() < 0.05,
+            "{}",
+            rates[1].mflops
+        );
         assert_eq!(rates[0].mflops, 0.0);
     }
 }

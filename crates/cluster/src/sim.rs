@@ -4,6 +4,7 @@ use crate::activity::ActivityPlan;
 use crate::paging::PagingModel;
 use crate::result::CampaignResult;
 use crate::state::NodeState;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sp2_hpm::{nas_selection, CounterSelection, CounterSnapshot};
 use sp2_pbs::{JobId, JobRecord, JobSpec, Pbs};
@@ -11,9 +12,10 @@ use sp2_power2::handler::{daemon_sample_signature, page_fault_signature};
 use sp2_power2::{KernelSignature, MachineConfig};
 use sp2_rs2hpm::{CounterSource, Daemon, JobCounterReport, SAMPLE_INTERVAL_S};
 use sp2_switch::SwitchConfig;
-use sp2_workload::{SubmittedJob, WorkloadLibrary};
+use sp2_workload::{CampaignSpec, JobMix, SubmittedJob, WorkloadLibrary};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 
 /// Machine-level configuration of the simulated SP2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +48,112 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Starts a validated builder seeded with the NAS defaults. Prefer
+    /// this over field-struct construction: the builder rejects machine
+    /// descriptions the simulator would silently mishandle.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            config: ClusterConfig::default(),
+        }
+    }
+}
+
+/// A [`ClusterConfig`] that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// `nodes == 0`: a machine with no nodes can run no jobs.
+    NoNodes,
+    /// The drain threshold exceeds the machine size, so draining could
+    /// never gather enough nodes and wide jobs would starve forever.
+    DrainExceedsNodes { drain_threshold: u32, nodes: usize },
+    /// An empty counter selection: the monitors would count nothing and
+    /// every downstream rate would be zero.
+    EmptySelection,
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterConfigError::NoNodes => write!(f, "cluster must have at least one node"),
+            ClusterConfigError::DrainExceedsNodes {
+                drain_threshold,
+                nodes,
+            } => write!(
+                f,
+                "drain threshold {drain_threshold} exceeds machine size {nodes}"
+            ),
+            ClusterConfigError::EmptySelection => {
+                write!(f, "counter selection must watch at least one signal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+/// Validated construction for [`ClusterConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Machine size in nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Per-node machine parameters.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Switch parameters.
+    pub fn switch(mut self, switch: SwitchConfig) -> Self {
+        self.config.switch = switch;
+        self
+    }
+
+    /// Paging model parameters.
+    pub fn paging(mut self, paging: PagingModel) -> Self {
+        self.config.paging = paging;
+        self
+    }
+
+    /// PBS drain threshold.
+    pub fn drain_threshold(mut self, drain_threshold: u32) -> Self {
+        self.config.drain_threshold = drain_threshold;
+        self
+    }
+
+    /// Counter selection every node's monitor runs.
+    pub fn selection(mut self, selection: CounterSelection) -> Self {
+        self.config.selection = selection;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ClusterConfig, ClusterConfigError> {
+        let c = self.config;
+        if c.nodes == 0 {
+            return Err(ClusterConfigError::NoNodes);
+        }
+        if c.drain_threshold as usize > c.nodes {
+            return Err(ClusterConfigError::DrainExceedsNodes {
+                drain_threshold: c.drain_threshold,
+                nodes: c.nodes,
+            });
+        }
+        if c.selection.is_empty() {
+            return Err(ClusterConfigError::EmptySelection);
+        }
+        Ok(c)
+    }
+}
+
 /// Event kinds, ordered by time then kind for determinism.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
@@ -67,9 +175,7 @@ struct Scheduled {
 impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then(self.seq.cmp(&other.seq))
+        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
     }
 }
 impl PartialOrd for Scheduled {
@@ -152,12 +258,12 @@ pub fn run_campaign(
 
     // Start any jobs PBS can place at `now`.
     let start_jobs = |now: f64,
-                          pbs: &mut Pbs,
-                          nodes: &mut Vec<NodeState>,
-                          running: &mut HashMap<JobId, RunningJob>,
-                          heap: &mut BinaryHeap<Reverse<Scheduled>>,
-                          seq: &mut u64,
-                          trace: &[SubmittedJob]| {
+                      pbs: &mut Pbs,
+                      nodes: &mut Vec<NodeState>,
+                      running: &mut HashMap<JobId, RunningJob>,
+                      heap: &mut BinaryHeap<Reverse<Scheduled>>,
+                      seq: &mut u64,
+                      trace: &[SubmittedJob]| {
         for started in pbs.schedule(now) {
             let submitted = &trace[started.spec.payload as usize];
             let program = library.program(submitted.program);
@@ -205,7 +311,15 @@ pub fn run_campaign(
                     requested_walltime_s: job.requested_walltime_s,
                     payload: i as u64,
                 });
-                start_jobs(t, &mut pbs, &mut nodes, &mut running, &mut heap, &mut seq, trace);
+                start_jobs(
+                    t,
+                    &mut pbs,
+                    &mut nodes,
+                    &mut running,
+                    &mut heap,
+                    &mut seq,
+                    trace,
+                );
             }
             Ev::Finish(id) => {
                 let Some(job) = running.remove(&id) else {
@@ -231,13 +345,31 @@ pub fn run_campaign(
                     start: job.start,
                     end: t,
                 });
-                start_jobs(t, &mut pbs, &mut nodes, &mut running, &mut heap, &mut seq, trace);
+                start_jobs(
+                    t,
+                    &mut pbs,
+                    &mut nodes,
+                    &mut running,
+                    &mut heap,
+                    &mut seq,
+                    trace,
+                );
             }
             Ev::Sample => {
-                for n in nodes.iter_mut() {
-                    n.advance(t);
-                }
-                daemon.collect(&NodeSource { nodes: &nodes }, t);
+                // Batched sampling pass: advance every node's counters to
+                // `t` and snapshot them in one sweep. Nodes are
+                // independent between events, so the sweep parallelizes
+                // across the current rayon pool; the map preserves node
+                // order, and the daemon folds the batch in index order,
+                // so the sample is bit-identical at any thread count.
+                let snapshots: Vec<Option<CounterSnapshot>> = nodes
+                    .par_iter_mut()
+                    .map(|n| {
+                        n.advance(t);
+                        Some(n.hpm().snapshot())
+                    })
+                    .collect();
+                daemon.collect_batch(&snapshots, t);
             }
         }
     }
@@ -261,11 +393,63 @@ pub fn run_campaign(
     CampaignResult {
         days,
         node_count: config.nodes,
+        machine: config.machine,
         selection,
         samples: daemon.samples().to_vec(),
         job_reports,
         pbs_records,
     }
+}
+
+/// Runs the campaign on a dedicated pool of `threads` worker threads
+/// (`0` means one thread per available core).
+///
+/// The event loop itself is inherently serial — events are causally
+/// ordered — but each 15-minute sampling pass advances all nodes in
+/// parallel, which dominates the loop's work on large machines. The
+/// result is bit-identical to [`run_campaign`] at any thread count.
+pub fn run_campaign_with_threads(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    trace: &[SubmittedJob],
+    days: u32,
+    threads: usize,
+) -> CampaignResult {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("building a thread pool cannot fail");
+    pool.install(|| run_campaign(config, library, trace, days))
+}
+
+/// Runs `replications` independent campaigns whose traces derive from
+/// `base_spec` with per-replication seeds (`seed + index`), sharded
+/// across the rayon pool.
+///
+/// Replications are embarrassingly parallel: each generates its own
+/// submission trace and replays it on its own simulated machine. The
+/// merge is deterministic — results come back ordered by replication
+/// index regardless of how the shards were scheduled — so serial and
+/// parallel runs produce bit-identical result vectors.
+pub fn run_replications(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    mix: &JobMix,
+    base_spec: &CampaignSpec,
+    replications: usize,
+) -> Vec<CampaignResult> {
+    (0..replications as u64)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|rep| {
+            let spec = CampaignSpec {
+                seed: base_spec.seed.wrapping_add(rep),
+                ..*base_spec
+            };
+            let jobs = sp2_workload::trace::generate(&spec, mix, library);
+            run_campaign(config, library, &jobs, spec.days)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! §5 calibration points: the single-processor reference measurements
 //! the paper anchors its analysis on.
 
+use crate::experiments::{Dataset, Experiment};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_hpm::Signal;
@@ -37,7 +39,12 @@ pub struct Calibration {
     pub points: Vec<CalibrationPoint>,
 }
 
-fn measure(name: &str, kernel: &sp2_isa::Kernel, machine: &MachineConfig, seed: u64) -> CalibrationPoint {
+fn measure(
+    name: &str,
+    kernel: &sp2_isa::Kernel,
+    machine: &MachineConfig,
+    seed: u64,
+) -> CalibrationPoint {
     let sig = measure_on_fresh_node(kernel, machine, seed);
     let fxu = sig.events.fxu_total().max(1) as f64;
     let memrefs = sig.events.get(Signal::StorageRefs).max(1) as f64;
@@ -54,7 +61,7 @@ fn measure(name: &str, kernel: &sp2_isa::Kernel, machine: &MachineConfig, seed: 
 }
 
 /// Runs all §5 calibration kernels on a fresh NAS node.
-pub fn run(machine: &MachineConfig) -> Calibration {
+pub(crate) fn run(machine: &MachineConfig) -> Calibration {
     let iters = 40_000;
     Calibration {
         peak_mflops: machine.peak_mflops(),
@@ -103,11 +110,64 @@ impl Calibration {
             .collect();
         let mut out = render::table(
             "Calibration: single-processor reference kernels (paper §5)",
-            &["kernel", "Mflops", "Mips", "f/mem", "FPU0/1", "cmiss", "tlbmiss"],
+            &[
+                "kernel", "Mflops", "Mips", "f/mem", "FPU0/1", "cmiss", "tlbmiss",
+            ],
             &rows,
         );
         out.push_str(&format!("machine peak: {:.0} Mflops\n", self.peak_mflops));
         out
+    }
+}
+
+impl ToJson for Calibration {
+    fn to_json(&self) -> Json {
+        Json::obj().field("peak_mflops", self.peak_mflops).field(
+            "points",
+            Json::Arr(
+                self.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("name", p.name.as_str())
+                            .field("mflops", p.mflops)
+                            .field("mips", p.mips)
+                            .field("flops_per_memref", p.flops_per_memref)
+                            .field("fpu0_fpu1_ratio", p.fpu0_fpu1_ratio)
+                            .field("cache_miss_ratio", p.cache_miss_ratio)
+                            .field("tlb_miss_ratio", p.tlb_miss_ratio)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+}
+
+/// Registry entry for the §5 calibration suite (campaign-independent:
+/// it measures reference kernels on the campaign's machine description).
+pub struct CalibrationExperiment;
+
+impl Experiment for CalibrationExperiment {
+    fn id(&self) -> &'static str {
+        "calibration"
+    }
+
+    fn title(&self) -> &'static str {
+        "Calibration: single-processor reference kernels (paper §5)"
+    }
+
+    fn needs_campaign(&self) -> bool {
+        false
+    }
+
+    fn run(&self, campaign: &sp2_cluster::CampaignResult) -> Dataset {
+        let c = run(&campaign.machine);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: c.render(),
+            json: c.to_json(),
+        }
     }
 }
 
@@ -121,7 +181,11 @@ mod tests {
         let c = run(&machine);
         let mm = c.point("blocked-matmul").unwrap();
         // "approximately 240 Mflops on the 67 Mhz POWER2".
-        assert!((210.0..268.0).contains(&mm.mflops), "matmul {:.0}", mm.mflops);
+        assert!(
+            (210.0..268.0).contains(&mm.mflops),
+            "matmul {:.0}",
+            mm.mflops
+        );
         // "the high performance matrix multiply displays a value of 3.0".
         assert!((2.5..3.6).contains(&mm.flops_per_memref));
         // Workload kernel ≈ 17 Mflops, ratio ≈ 0.5, FPU0/FPU1 ≈ 1.7.

@@ -1,6 +1,8 @@
 //! Figure 1: NAS SP2 system performance history — daily Gflops, its
 //! moving average, and the utilization moving average over the campaign.
 
+use crate::experiments::{Dataset, Experiment};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -35,7 +37,7 @@ pub struct Fig1 {
 const MA_HALF_WINDOW: usize = 7;
 
 /// Regenerates Figure 1 from a campaign.
-pub fn run(campaign: &CampaignResult) -> Fig1 {
+pub(crate) fn run(campaign: &CampaignResult) -> Fig1 {
     let daily = campaign.daily_gflops();
     let util = campaign.daily_utilization();
     Fig1 {
@@ -62,11 +64,7 @@ impl Fig1 {
             .map(|(d, &g)| {
                 (
                     d as f64,
-                    vec![
-                        g,
-                        self.gflops_moving_avg[d],
-                        self.utilization_moving_avg[d],
-                    ],
+                    vec![g, self.gflops_moving_avg[d], self.utilization_moving_avg[d]],
                 )
             })
             .collect();
@@ -87,6 +85,48 @@ impl Fig1 {
             self.trend_gflops_per_day,
         ));
         out
+    }
+}
+
+impl ToJson for Fig1 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("daily_gflops", self.daily_gflops.as_slice())
+            .field("gflops_moving_avg", self.gflops_moving_avg.as_slice())
+            .field("daily_utilization", self.daily_utilization.as_slice())
+            .field(
+                "utilization_moving_avg",
+                self.utilization_moving_avg.as_slice(),
+            )
+            .field("mean_gflops", self.mean_gflops)
+            .field("mean_utilization", self.mean_utilization)
+            .field("max_daily_gflops", self.max_daily_gflops)
+            .field("max_15min_gflops", self.max_15min_gflops)
+            .field("max_daily_utilization", self.max_daily_utilization)
+            .field("trend_gflops_per_day", self.trend_gflops_per_day)
+    }
+}
+
+/// Registry entry for Figure 1.
+pub struct Fig1Experiment;
+
+impl Experiment for Fig1Experiment {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: NAS SP2 System Performance History"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let f = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: f.render(),
+            json: f.to_json(),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Figure 2: batch-job walltime as a function of nodes requested.
 
-use crate::experiments::BATCH_MIN_WALLTIME_S;
+use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -21,7 +22,7 @@ pub struct Fig2 {
 }
 
 /// Regenerates Figure 2 from PBS accounting.
-pub fn run(campaign: &CampaignResult) -> Fig2 {
+pub(crate) fn run(campaign: &CampaignResult) -> Fig2 {
     let h = walltime_histogram(&campaign.pbs_records, 144, BATCH_MIN_WALLTIME_S);
     Fig2 {
         bars: h.nonzero().collect(),
@@ -50,6 +51,50 @@ impl Fig2 {
             self.fraction_above_64 * 100.0
         ));
         out
+    }
+}
+
+impl ToJson for Fig2 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "bars",
+                Json::Arr(
+                    self.bars
+                        .iter()
+                        .map(|&(n, w)| Json::obj().field("nodes", n as u64).field("walltime_s", w))
+                        .collect(),
+                ),
+            )
+            .field("mode_nodes", self.mode_nodes.map(|n| n as u64))
+            .field(
+                "top3",
+                Json::Arr(self.top3.iter().map(|&n| Json::from(n as u64)).collect()),
+            )
+            .field("fraction_above_64", self.fraction_above_64)
+    }
+}
+
+/// Registry entry for Figure 2.
+pub struct Fig2Experiment;
+
+impl Experiment for Fig2Experiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 2: Batch Job Walltime as a Function of Nodes Requested"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let f = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: f.render(),
+            json: f.to_json(),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Figure 3: batch-job performance per node vs nodes requested.
 
-use crate::experiments::BATCH_MIN_WALLTIME_S;
+use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -37,7 +38,7 @@ pub struct NodeBucket {
 }
 
 /// Regenerates Figure 3 from the per-job reports.
-pub fn run(campaign: &CampaignResult) -> Fig3 {
+pub(crate) fn run(campaign: &CampaignResult) -> Fig3 {
     let mut points = Vec::new();
     let mut buckets: BTreeMap<u32, Summary> = BTreeMap::new();
     for r in campaign.batch_reports(BATCH_MIN_WALLTIME_S) {
@@ -104,6 +105,62 @@ impl Fig3 {
     }
 }
 
+impl ToJson for Fig3 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|&(n, y)| Json::from((u64::from(n), y)))
+                        .collect(),
+                ),
+            )
+            .field(
+                "by_nodes",
+                Json::Arr(
+                    self.by_nodes
+                        .iter()
+                        .map(|b| {
+                            Json::obj()
+                                .field("nodes", u64::from(b.nodes))
+                                .field("count", b.count)
+                                .field("mean", b.mean)
+                                .field("max", b.max)
+                        })
+                        .collect(),
+                ),
+            )
+            .field("small_mean", self.small_mean)
+            .field("large_mean", self.large_mean)
+            .field("peak", self.peak.map(|(n, y)| (u64::from(n), y)))
+    }
+}
+
+/// Registry entry for Figure 3.
+pub struct Fig3Experiment;
+
+impl Experiment for Fig3Experiment {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 3: Batch Job Performance vs Nodes Requested"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let f = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: f.render(),
+            json: f.to_json(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,7 +188,10 @@ mod tests {
             .filter(|b| (32..=64).contains(&b.nodes))
             .map(|b| b.max)
             .fold(0.0, f64::max);
-        assert!(sustained > 10.0, "sustained rate at 32–64 nodes: {sustained:.1}");
+        assert!(
+            sustained > 10.0,
+            "sustained rate at 32–64 nodes: {sustained:.1}"
+        );
         let text = f.render();
         assert!(text.contains("Mflops per node"));
     }

@@ -1,7 +1,8 @@
 //! Figure 4: 16-node performance histories — whole-job Mflops against
 //! batch job id, with a moving average showing no improvement trend.
 
-use crate::experiments::BATCH_MIN_WALLTIME_S;
+use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -27,7 +28,7 @@ pub struct Fig4 {
 const MA_WINDOW: usize = 50;
 
 /// Regenerates Figure 4 from the per-job reports.
-pub fn run(campaign: &CampaignResult) -> Fig4 {
+pub(crate) fn run(campaign: &CampaignResult) -> Fig4 {
     let mut points: Vec<(u64, f64)> = campaign
         .batch_reports(BATCH_MIN_WALLTIME_S)
         .iter()
@@ -73,6 +74,43 @@ impl Fig4 {
     }
 }
 
+impl ToJson for Fig4 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "points",
+                Json::Arr(self.points.iter().map(|&p| Json::from(p)).collect()),
+            )
+            .field("moving_avg", self.moving_avg.as_slice())
+            .field("mean", self.mean)
+            .field("std", self.std)
+            .field("trend_mflops_per_job", self.trend_mflops_per_job)
+    }
+}
+
+/// Registry entry for Figure 4.
+pub struct Fig4Experiment;
+
+impl Experiment for Fig4Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 4: NAS SP2 16-node Performance Histories"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let f = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: f.render(),
+            json: f.to_json(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +127,11 @@ mod tests {
             "16-node mean {:.0} outside band",
             f.mean
         );
-        assert!(f.std > 0.3 * f.mean, "spread is wide (cv {:.2})", f.std / f.mean);
+        assert!(
+            f.std > 0.3 * f.mean,
+            "spread is wide (cv {:.2})",
+            f.std / f.mean
+        );
         // No systematic improvement over time: trend is small relative
         // to the spread across the job-id range.
         let drift = f.trend_mflops_per_job.abs() * f.points.len() as f64;

@@ -1,7 +1,8 @@
 //! Figure 5: node performance vs system intervention — per-node Mflops
 //! against the (system FXU)/(user FXU) instruction ratio.
 
-use crate::experiments::BATCH_MIN_WALLTIME_S;
+use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -22,7 +23,7 @@ pub struct Fig5 {
 }
 
 /// Regenerates Figure 5 from the per-job reports.
-pub fn run(campaign: &CampaignResult) -> Fig5 {
+pub(crate) fn run(campaign: &CampaignResult) -> Fig5 {
     let mut scatter = BinnedScatter::new(0.0, 5.0, 10);
     let mut points = Vec::new();
     let mut paging_suspected = 0;
@@ -65,6 +66,55 @@ impl Fig5 {
     }
 }
 
+impl ToJson for Fig5 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "points",
+                Json::Arr(self.points.iter().map(|&p| Json::from(p)).collect()),
+            )
+            .field(
+                "binned",
+                Json::Arr(
+                    self.binned
+                        .iter()
+                        .map(|&(x, y, n)| {
+                            Json::obj()
+                                .field("center", x)
+                                .field("mean", y)
+                                .field("jobs", n)
+                        })
+                        .collect(),
+                ),
+            )
+            .field("correlation", self.correlation)
+            .field("paging_suspected", self.paging_suspected as u64)
+    }
+}
+
+/// Registry entry for Figure 5.
+pub struct Fig5Experiment;
+
+impl Experiment for Fig5Experiment {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 5: Node Performance vs System Intervention"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let f = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: f.render(),
+            json: f.to_json(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,7 +146,10 @@ mod tests {
         if !low.is_empty() && !high.is_empty() {
             let lm = low.iter().sum::<f64>() / low.len() as f64;
             let hm = high.iter().sum::<f64>() / high.len() as f64;
-            assert!(lm > 2.0 * hm, "healthy {lm:.1} vs paging {hm:.1} Mflops/node");
+            assert!(
+                lm > 2.0 * hm,
+                "healthy {lm:.1} vs paging {hm:.1} Mflops/node"
+            );
         }
         let text = f.render();
         assert!(text.contains("sys_fxu/user_fxu"));

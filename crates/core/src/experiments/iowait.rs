@@ -12,6 +12,8 @@
 //! the paper wished for: daily performance now correlates with a
 //! *measured* I/O-wait fraction instead of requiring node logins.
 
+use crate::experiments::{Dataset, Experiment, SelectionKind};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -50,11 +52,9 @@ pub struct IoWaitReport {
 /// Panics if the campaign's selection does not watch `IoWaitCycles`
 /// (running this on the NAS selection would silently report zeros — the
 /// very blindness the experiment is about).
-pub fn run(campaign: &CampaignResult, clock_hz: f64) -> IoWaitReport {
+pub(crate) fn run(campaign: &CampaignResult, clock_hz: f64) -> IoWaitReport {
     assert!(
-        campaign
-            .selection
-            .watches(sp2_hpm::Signal::IoWaitCycles),
+        campaign.selection.watches(sp2_hpm::Signal::IoWaitCycles),
         "campaign must run under the io-aware selection (ClusterConfig::selection)"
     );
     let gflops = campaign.daily_gflops();
@@ -106,9 +106,7 @@ pub fn run(campaign: &CampaignResult, clock_hz: f64) -> IoWaitReport {
         }
     };
 
-    let castout_rate_visible = campaign
-        .selection
-        .watches(sp2_hpm::Signal::DcacheStore);
+    let castout_rate_visible = campaign.selection.watches(sp2_hpm::Signal::DcacheStore);
 
     IoWaitReport {
         correlation,
@@ -146,29 +144,72 @@ impl IoWaitReport {
     }
 }
 
+impl ToJson for IoWaitReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "days",
+                Json::Arr(
+                    self.days
+                        .iter()
+                        .map(|d| {
+                            Json::obj()
+                                .field("day", d.day as u64)
+                                .field("gflops", d.gflops)
+                                .field("io_wait_fraction", d.io_wait_fraction)
+                        })
+                        .collect(),
+                ),
+            )
+            .field("correlation", self.correlation)
+            .field("io_wait_good_days", self.io_wait_good_days)
+            .field("io_wait_bad_days", self.io_wait_bad_days)
+            .field("castout_rate_visible", self.castout_rate_visible)
+    }
+}
+
+/// Registry entry for the §7 extension. Declares the io-aware counter
+/// selection; [`crate::system::Sp2System::dataset`] runs (and caches) a
+/// separate campaign under it.
+pub struct IoWaitExperiment;
+
+impl Experiment for IoWaitExperiment {
+    fn id(&self) -> &'static str {
+        "iowait"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension (§7): daily performance vs measured I/O-wait fraction"
+    }
+
+    fn selection(&self) -> SelectionKind {
+        SelectionKind::IoAware
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let r = run(campaign, campaign.machine.clock_hz);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: r.render(),
+            json: r.to_json(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::system::Sp2System;
     use sp2_cluster::ClusterConfig;
     use sp2_hpm::io_aware_selection;
-    use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
 
     fn io_aware_system(days: u32) -> Sp2System {
-        let config = ClusterConfig {
-            selection: io_aware_selection(),
-            ..Default::default()
-        };
-        let library = WorkloadLibrary::build(&config.machine, 1998);
-        Sp2System::custom(
-            config,
-            library,
-            JobMix::nas(),
-            CampaignSpec {
-                days,
-                ..Default::default()
-            },
-        )
+        let config = ClusterConfig::builder()
+            .selection(io_aware_selection())
+            .build()
+            .expect("valid config");
+        Sp2System::builder().config(config).days(days).build()
     }
 
     #[test]

@@ -1,20 +1,29 @@
-//! One runner per table and figure of the paper's evaluation.
+//! One experiment per table and figure of the paper's evaluation.
 //!
-//! Each module exposes `run(...)` returning a serializable dataset with a
-//! `render()` method that prints the same rows/series the paper reports.
-//! The DESIGN.md experiment index maps each to its bench target.
+//! Every experiment implements the [`Experiment`] trait: a stable `id`,
+//! a human title, and a `run` that turns a [`CampaignResult`] into a
+//! [`Dataset`] carrying both the paper-style text rendering and a JSON
+//! document for export. [`all_experiments`] is the registry the `sp2`
+//! binary, the examples, and every bench target dispatch through; the
+//! typed per-module `run()` functions are crate-private so the registry
+//! is the only public entry point.
 
 pub mod calibration;
-pub mod iowait;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod iowait;
+pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+
+use crate::json::{Json, ToJson};
+use sp2_cluster::CampaignResult;
+use sp2_hpm::{io_aware_selection, nas_selection, CounterSelection};
 
 /// The day-rate threshold (Gflops) that defines the paper's "good day"
 /// subset for Tables 2–3: "days with performance exceeding 2.0 Gflops".
@@ -22,3 +31,168 @@ pub const GOOD_DAY_GFLOPS: f64 = 2.0;
 
 /// The paper's batch filter: jobs exceeding 600 s of wall clock.
 pub const BATCH_MIN_WALLTIME_S: f64 = 600.0;
+
+/// Which counter selection an experiment's campaign must run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionKind {
+    /// The paper's Table 1 selection (the default).
+    Nas,
+    /// The §7 extension: castouts traded for an I/O-wait counter.
+    IoAware,
+}
+
+impl SelectionKind {
+    /// The concrete counter selection.
+    pub fn selection(self) -> CounterSelection {
+        match self {
+            SelectionKind::Nas => nas_selection(),
+            SelectionKind::IoAware => io_aware_selection(),
+        }
+    }
+}
+
+/// What running an experiment produces: the paper-style text rendering
+/// plus a JSON document suitable for [`crate::export::write_json`].
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The experiment's stable id (also the artifact file stem).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The text rendering (tables/series as the paper prints them).
+    pub rendered: String,
+    /// The dataset as a JSON document.
+    pub json: Json,
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        self.json.clone()
+    }
+}
+
+impl Dataset {
+    /// Writes the JSON document to the artifacts directory under the
+    /// experiment's id.
+    pub fn write_artifact(&self) -> std::io::Result<std::path::PathBuf> {
+        crate::export::write_json(self.id, self)
+    }
+}
+
+/// A regenerable table or figure of the paper.
+///
+/// `Sync` is a supertrait so the registry can hand out `&'static dyn
+/// Experiment` across threads (bench harnesses fan experiments out).
+pub trait Experiment: Sync {
+    /// Stable identifier (`table2`, `fig5`, …) used by the CLI and the
+    /// artifact file names.
+    fn id(&self) -> &'static str;
+
+    /// Human title as the paper names the exhibit.
+    fn title(&self) -> &'static str;
+
+    /// Whether `run` reads campaign data. Experiments that only need the
+    /// machine description (Table 1, the §5 calibration) return `false`
+    /// and accept [`CampaignResult::empty`].
+    fn needs_campaign(&self) -> bool {
+        true
+    }
+
+    /// The counter selection this experiment's campaign must run under.
+    fn selection(&self) -> SelectionKind {
+        SelectionKind::Nas
+    }
+
+    /// Produces the dataset from a campaign (see [`Experiment::needs_campaign`]
+    /// and [`Experiment::selection`] for what the campaign must be).
+    fn run(&self, campaign: &CampaignResult) -> Dataset;
+
+    /// The text rendering alone.
+    fn render(&self, campaign: &CampaignResult) -> String {
+        self.run(campaign).rendered
+    }
+
+    /// The JSON document alone.
+    fn to_json(&self, campaign: &CampaignResult) -> Json {
+        self.run(campaign).json
+    }
+}
+
+/// Every experiment, in the paper's presentation order.
+pub fn all_experiments() -> &'static [&'static dyn Experiment] {
+    static ALL: [&dyn Experiment; 12] = [
+        &table1::Table1Experiment,
+        &table2::Table2Experiment,
+        &table3::Table3Experiment,
+        &table4::Table4Experiment,
+        &fig1::Fig1Experiment,
+        &fig2::Fig2Experiment,
+        &fig3::Fig3Experiment,
+        &fig4::Fig4Experiment,
+        &fig5::Fig5Experiment,
+        &calibration::CalibrationExperiment,
+        &iowait::IoWaitExperiment,
+        &summary::SummaryExperiment,
+    ];
+    &ALL
+}
+
+/// Looks an experiment up by id.
+pub fn experiment(id: &str) -> Option<&'static dyn Experiment> {
+    all_experiments().iter().copied().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_resolvable() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 12);
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "experiment ids must be unique");
+        for e in all {
+            assert_eq!(experiment(e.id()).unwrap().id(), e.id());
+            assert!(!e.title().is_empty());
+        }
+        assert!(experiment("nonesuch").is_none());
+    }
+
+    #[test]
+    fn campaign_free_experiments_run_on_empty() {
+        use sp2_power2::MachineConfig;
+        let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
+        for e in all_experiments() {
+            if !e.needs_campaign() {
+                let d = e.run(&empty);
+                assert!(!d.rendered.is_empty(), "{} rendered nothing", e.id());
+                assert!(
+                    matches!(d.json, Json::Obj(_)),
+                    "{} must export an object",
+                    e.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_kinds_map_to_selections() {
+        assert!(SelectionKind::Nas
+            .selection()
+            .watches(sp2_hpm::Signal::DcacheStore));
+        assert!(SelectionKind::IoAware
+            .selection()
+            .watches(sp2_hpm::Signal::IoWaitCycles));
+        assert_eq!(
+            experiment("iowait").unwrap().selection(),
+            SelectionKind::IoAware
+        );
+        assert_eq!(
+            experiment("table2").unwrap().selection(),
+            SelectionKind::Nas
+        );
+    }
+}

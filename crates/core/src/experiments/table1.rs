@@ -1,7 +1,10 @@
 //! Table 1: the NAS SP2 RS2HPM counter selection.
 
+use crate::experiments::{Dataset, Experiment};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
+use sp2_cluster::CampaignResult;
 use sp2_hpm::config::{table1_rows, Table1Row};
 
 /// The regenerated Table 1.
@@ -12,8 +15,10 @@ pub struct Table1 {
 }
 
 /// Regenerates Table 1 from the counter configuration itself.
-pub fn run() -> Table1 {
-    Table1 { rows: table1_rows() }
+pub(crate) fn run() -> Table1 {
+    Table1 {
+        rows: table1_rows(),
+    }
 }
 
 impl Table1 {
@@ -30,6 +35,53 @@ impl Table1 {
             &["Counter", "Label", "Description"],
             &rows,
         )
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        Json::obj().field(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("counter", r.counter.as_str())
+                            .field("label", r.label.as_str())
+                            .field("description", r.description.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+    }
+}
+
+/// Registry entry for Table 1 (campaign-independent: the table is the
+/// counter configuration itself).
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 1: NAS SP2 RS2HPM Counters"
+    }
+
+    fn needs_campaign(&self) -> bool {
+        false
+    }
+
+    fn run(&self, _campaign: &CampaignResult) -> Dataset {
+        let t = run();
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: t.render(),
+            json: t.to_json(),
+        }
     }
 }
 
@@ -50,5 +102,13 @@ mod tests {
         assert!(text.contains("FPU1[4]"));
         assert!(text.contains("user.dma_write"));
         assert!(text.contains("castouts"));
+    }
+
+    #[test]
+    fn json_export_covers_rows() {
+        let j = run().to_json();
+        let s = j.to_string_pretty();
+        assert!(s.contains("\"counter\": \"user.fxu0\""));
+        assert!(s.contains("\"rows\": ["));
     }
 }

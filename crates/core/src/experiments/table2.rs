@@ -2,7 +2,8 @@
 //! workload — a representative good day plus the mean ± std over all
 //! days whose machine rate exceeded 2.0 Gflops.
 
-use crate::experiments::GOOD_DAY_GFLOPS;
+use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -39,7 +40,7 @@ pub struct Table2 {
 }
 
 /// Regenerates Table 2 from a campaign.
-pub fn run(campaign: &CampaignResult) -> Table2 {
+pub(crate) fn run(campaign: &CampaignResult) -> Table2 {
     let daily = campaign.daily_node_rates();
     let good = campaign.days_above(GOOD_DAY_GFLOPS);
     let util = campaign.daily_utilization();
@@ -52,7 +53,10 @@ pub fn run(campaign: &CampaignResult) -> Table2 {
 
     let mut rows = Vec::new();
     for (name, f) in [
-        ("Mips", &(|r: &sp2_rs2hpm::RateReport| r.mips) as &dyn Fn(&sp2_rs2hpm::RateReport) -> f64),
+        (
+            "Mips",
+            &(|r: &sp2_rs2hpm::RateReport| r.mips) as &dyn Fn(&sp2_rs2hpm::RateReport) -> f64,
+        ),
         ("Mops", &|r| r.mops),
         ("Mflops", &|r| r.mflops),
     ] {
@@ -111,9 +115,7 @@ impl Table2 {
             &format!(
                 "Table 2: Measured Major Rates for NAS Workload \
                  ({} of {} days > {:.1} Gflops; per-node rates)",
-                self.good_days,
-                self.total_days,
-                GOOD_DAY_GFLOPS
+                self.good_days, self.total_days, GOOD_DAY_GFLOPS
             ),
             &[
                 &format!("Rates (Day {})", self.representative_day),
@@ -129,6 +131,55 @@ impl Table2 {
             self.good_day_utilization * 100.0
         ));
         out
+    }
+}
+
+impl ToJson for Table2 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("representative_day", self.representative_day as u64)
+            .field("good_days", self.good_days as u64)
+            .field("total_days", self.total_days)
+            .field("good_day_machine_gflops", self.good_day_machine_gflops)
+            .field("good_day_utilization", self.good_day_utilization)
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("name", r.name.as_str())
+                                .field("day", r.day)
+                                .field("avg", r.avg)
+                                .field("std", r.std)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Registry entry for Table 2.
+pub struct Table2Experiment;
+
+impl Experiment for Table2Experiment {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 2: Measured Major Rates for NAS Workload"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let t = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: t.render(),
+            json: t.to_json(),
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Table 3: the full rate breakdown — Mflops by operation, Mips by unit,
 //! cache/TLB/I-cache miss rates, and DMA rates, over the good-day subset.
 
-use crate::experiments::GOOD_DAY_GFLOPS;
+use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
@@ -63,18 +64,19 @@ const ROWS: &[(&str, &str, Field)] = &[
     ("INST", "Mips-Inst Cache Unit", |r| r.mips_icu),
     ("CACHE", "Data Cache Misses-Million/S", |r| r.dcache_miss),
     ("CACHE", "TLB-Million/S", |r| r.tlb_miss),
-    ("CACHE", "Instruction Cache Misses-Million/S", |r| r.icache_miss),
+    ("CACHE", "Instruction Cache Misses-Million/S", |r| {
+        r.icache_miss
+    }),
     ("I/O", "DMA reads-MTransfer/S", |r| r.dma_read),
     ("I/O", "DMA writes-MTransfer/S", |r| r.dma_write),
 ];
 
 /// Regenerates Table 3 from a campaign.
-pub fn run(campaign: &CampaignResult) -> Table3 {
+pub(crate) fn run(campaign: &CampaignResult) -> Table3 {
     let daily = campaign.daily_node_rates();
     let good = campaign.days_above(GOOD_DAY_GFLOPS);
     let representative_day = {
-        let mut mflops: Vec<(usize, f64)> =
-            good.iter().map(|&d| (d, daily[d].mflops)).collect();
+        let mut mflops: Vec<(usize, f64)> = good.iter().map(|&d| (d, daily[d].mflops)).collect();
         mflops.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         mflops.get(mflops.len() / 2).map(|&(d, _)| d).unwrap_or(0)
     };
@@ -116,7 +118,11 @@ pub fn run(campaign: &CampaignResult) -> Table3 {
         representative_day,
         good_days: good.len(),
         rows,
-        fma_flop_fraction: if mflops > 0.0 { 2.0 * fma / mflops } else { 0.0 },
+        fma_flop_fraction: if mflops > 0.0 {
+            2.0 * fma / mflops
+        } else {
+            0.0
+        },
         fpu0_fpu1_ratio: if fpu1 > 0.0 { fpu0 / fpu1 } else { 0.0 },
         cache_miss_ratio,
         tlb_miss_ratio,
@@ -147,7 +153,13 @@ impl Table3 {
                 "Table 3: Measured Major Rates for NAS Workload (per node, {} good days)",
                 self.good_days
             ),
-            &["", &format!("Rates (Day {})", self.representative_day), "Day", "Avg", "Std"],
+            &[
+                "",
+                &format!("Rates (Day {})", self.representative_day),
+                "Day",
+                "Avg",
+                "Std",
+            ],
             &rows,
         );
         out.push_str(&format!(
@@ -161,6 +173,59 @@ impl Table3 {
             self.delay_per_memref,
         ));
         out
+    }
+}
+
+impl ToJson for Table3 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("representative_day", self.representative_day as u64)
+            .field("good_days", self.good_days as u64)
+            .field("fma_flop_fraction", self.fma_flop_fraction)
+            .field("fpu0_fpu1_ratio", self.fpu0_fpu1_ratio)
+            .field("cache_miss_ratio", self.cache_miss_ratio)
+            .field("tlb_miss_ratio", self.tlb_miss_ratio)
+            .field("flops_per_memref", self.flops_per_memref)
+            .field("delay_per_memref", self.delay_per_memref)
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("section", r.section.as_str())
+                                .field("name", r.name.as_str())
+                                .field("day", r.day)
+                                .field("avg", r.avg)
+                                .field("std", r.std)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Registry entry for Table 3.
+pub struct Table3Experiment;
+
+impl Experiment for Table3Experiment {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 3: Measured Major Rates for NAS Workload (full breakdown)"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let t = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: t.render(),
+            json: t.to_json(),
+        }
     }
 }
 

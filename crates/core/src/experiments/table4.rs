@@ -2,12 +2,13 @@
 //! plus Mflops/CPU for the NAS workload, a pure sequential-access sweep,
 //! and the NPB-BT-like tuned solver.
 
-use crate::experiments::GOOD_DAY_GFLOPS;
+use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
 use sp2_cluster::CampaignResult;
 use sp2_hpm::Signal;
-use sp2_power2::{measure_on_fresh_node, MachineConfig};
+use sp2_power2::measure_on_fresh_node;
 use sp2_workload::kernels::{cfd_kernel, seqaccess_kernel, CfdKernelParams};
 
 /// One Table-4 column.
@@ -32,8 +33,10 @@ pub struct Table4 {
 }
 
 /// Regenerates Table 4: the workload column from the campaign, the two
-/// reference columns from direct single-node kernel measurement.
-pub fn run(campaign: &CampaignResult, machine: &MachineConfig) -> Table4 {
+/// reference columns from direct single-node kernel measurement on the
+/// campaign's own machine description.
+pub(crate) fn run(campaign: &CampaignResult) -> Table4 {
+    let machine = &campaign.machine;
     // NAS workload: pooled good-day rates.
     let daily = campaign.daily_node_rates();
     let good = campaign.days_above(GOOD_DAY_GFLOPS);
@@ -47,8 +50,16 @@ pub fn run(campaign: &CampaignResult, machine: &MachineConfig) -> Table4 {
     let fxu = mean(|r| r.mips_fxu);
     let workload = MemoryColumn {
         name: "NAS Workload".to_string(),
-        cache_miss_ratio: if fxu > 0.0 { mean(|r| r.dcache_miss) / fxu } else { 0.0 },
-        tlb_miss_ratio: if fxu > 0.0 { mean(|r| r.tlb_miss) / fxu } else { 0.0 },
+        cache_miss_ratio: if fxu > 0.0 {
+            mean(|r| r.dcache_miss) / fxu
+        } else {
+            0.0
+        },
+        tlb_miss_ratio: if fxu > 0.0 {
+            mean(|r| r.tlb_miss) / fxu
+        } else {
+            0.0
+        },
         mflops_per_cpu: Some(mean(|r| r.mflops)),
     };
 
@@ -112,6 +123,49 @@ impl Table4 {
     }
 }
 
+impl ToJson for Table4 {
+    fn to_json(&self) -> Json {
+        Json::obj().field(
+            "columns",
+            Json::Arr(
+                self.columns
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .field("name", c.name.as_str())
+                            .field("cache_miss_ratio", c.cache_miss_ratio)
+                            .field("tlb_miss_ratio", c.tlb_miss_ratio)
+                            .field("mflops_per_cpu", c.mflops_per_cpu)
+                    })
+                    .collect(),
+            ),
+        )
+    }
+}
+
+/// Registry entry for Table 4.
+pub struct Table4Experiment;
+
+impl Experiment for Table4Experiment {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 4: Hierarchical Memory Performance"
+    }
+
+    fn run(&self, campaign: &CampaignResult) -> Dataset {
+        let t = run(campaign);
+        Dataset {
+            id: self.id(),
+            title: self.title(),
+            rendered: t.render(),
+            json: t.to_json(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,8 +174,7 @@ mod tests {
     #[test]
     fn table4_shape_matches_paper() {
         let mut sys = Sp2System::nas_1996(8);
-        let machine = sys.config().machine;
-        let t = run(sys.campaign(), &machine);
+        let t = run(sys.campaign());
         assert_eq!(t.columns.len(), 3);
         let seq = &t.columns[1];
         let bt = &t.columns[2];

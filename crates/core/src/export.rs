@@ -1,10 +1,10 @@
 //! JSON artifact export for regenerated experiments.
 //!
-//! Every experiment runner can persist its dataset so EXPERIMENTS.md
+//! Every experiment dataset can persist itself so EXPERIMENTS.md
 //! entries are regenerable and diffable. Artifacts land in
 //! `target/experiments/` by default; override with `SP2_EXPERIMENTS_DIR`.
 
-use serde::Serialize;
+use crate::json::ToJson;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
@@ -18,12 +18,12 @@ pub fn artifacts_dir() -> PathBuf {
 
 /// Serializes `data` to `<artifacts_dir>/<name>.json`, creating the
 /// directory as needed. Returns the written path.
-pub fn write_json<T: Serialize>(name: &str, data: &T) -> std::io::Result<PathBuf> {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, data: &T) -> std::io::Result<PathBuf> {
     let dir = artifacts_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = fs::File::create(&path)?;
-    let body = serde_json::to_string_pretty(data).map_err(std::io::Error::other)?;
+    let body = data.to_json().to_string_pretty();
     f.write_all(body.as_bytes())?;
     f.write_all(b"\n")?;
     Ok(path)
@@ -32,11 +32,16 @@ pub fn write_json<T: Serialize>(name: &str, data: &T) -> std::io::Result<PathBuf
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::Serialize;
+    use crate::json::Json;
 
-    #[derive(Serialize)]
     struct Demo {
         x: u32,
+    }
+
+    impl ToJson for Demo {
+        fn to_json(&self) -> Json {
+            Json::obj().field("x", self.x)
+        }
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Minimal JSON document model for experiment artifacts.
+//!
+//! Experiments export their datasets as JSON so external tooling can
+//! post-process them. The build environment vendors its dependencies, so
+//! rather than a full serde_json stand-in this module provides the one
+//! thing the repo needs: a value tree plus a deterministic pretty
+//! printer. Object keys keep insertion order, which makes artifacts
+//! diff-stable across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (experiments have few keys; linear
+    /// storage keeps output order deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Starts an empty object.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects: construction
+    /// bugs should fail loudly in tests, not emit bad artifacts).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation, `"key": value` spacing.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the document model; every experiment dataset
+/// implements this to drive `export::write_json`.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(v: $t) -> Self {
+                Json::Num(v as f64)
+            }
+        }
+    )*};
+}
+
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Self {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(items: &[T]) -> Self {
+        Json::Arr(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl<A: Into<Json>, B: Into<Json>> From<(A, B)> for Json {
+    fn from((a, b): (A, B)) -> Self {
+        Json::Arr(vec![a.into(), b.into()])
+    }
+}
+
+impl<A: Into<Json>, B: Into<Json>, C: Into<Json>> From<(A, B, C)> for Json {
+    fn from((a, b, c): (A, B, C)) -> Self {
+        Json::Arr(vec![a.into(), b.into(), c.into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_with_spaced_keys() {
+        let doc = Json::obj()
+            .field("x", 7u32)
+            .field("name", "sp2")
+            .field("ys", vec![1.5f64, 2.0]);
+        let s = doc.to_string_pretty();
+        assert!(s.contains("\"x\": 7"), "{s}");
+        assert!(s.contains("\"name\": \"sp2\""), "{s}");
+        assert!(s.contains("1.5"), "{s}");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        let mut s = String::new();
+        write_num(&mut s, 42.0);
+        assert_eq!(s, "42");
+        s.clear();
+        write_num(&mut s, 0.25);
+        assert_eq!(s, "0.25");
+        s.clear();
+        write_num(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::obj().to_string_pretty(), "{}");
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = Json::obj()
+            .field("series", vec![1.0f64, 2.0])
+            .field("label", "gflops");
+        assert_eq!(doc.get("label").and_then(Json::as_str), Some("gflops"));
+        let series = doc.get("series").and_then(Json::as_arr).unwrap();
+        assert_eq!(series[1].as_f64(), Some(2.0));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.get("label").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn options_and_tuples_convert() {
+        let doc = Json::obj()
+            .field("peak", Some(3.4f64))
+            .field("missing", Option::<f64>::None)
+            .field("pair", (16u32, 1.25f64));
+        let s = doc.to_string_pretty();
+        assert!(s.contains("\"peak\": 3.4"));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("\"pair\": ["));
+    }
+}

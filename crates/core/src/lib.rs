@@ -2,36 +2,42 @@
 //!
 //! [`Sp2System`] wires the substrates together — the POWER2 node model,
 //! the HPM, the RS2HPM tool chain, PBS, the switch, and the synthetic NAS
-//! workload — and exposes one runner per table and figure of the paper's
-//! evaluation:
+//! workload — and runs campaigns on the parallel engine. Every table and
+//! figure of the paper's evaluation is an [`experiments::Experiment`]
+//! registered in [`experiments::all_experiments`]:
 //!
-//! | Experiment | Runner | Paper content |
-//! |---|---|---|
-//! | Table 1 | [`experiments::table1`] | the NAS 22-counter selection |
-//! | Table 2 | [`experiments::table2`] | Mips/Mops/Mflops, good days |
-//! | Table 3 | [`experiments::table3`] | full rate breakdown |
-//! | Table 4 | [`experiments::table4`] | hierarchical memory performance |
-//! | Figure 1 | [`experiments::fig1`] | daily Gflops + utilization history |
-//! | Figure 2 | [`experiments::fig2`] | walltime vs nodes requested |
-//! | Figure 3 | [`experiments::fig3`] | Mflops/node vs nodes requested |
-//! | Figure 4 | [`experiments::fig4`] | 16-node performance history |
-//! | Figure 5 | [`experiments::fig5`] | performance vs system intervention |
-//! | §5 calibration | [`experiments::calibration`] | 240 Mflops matmul etc. |
+//! | Id | Paper content |
+//! |---|---|
+//! | `table1` | the NAS 22-counter selection |
+//! | `table2` | Mips/Mops/Mflops, good days |
+//! | `table3` | full rate breakdown |
+//! | `table4` | hierarchical memory performance |
+//! | `fig1` | daily Gflops + utilization history |
+//! | `fig2` | walltime vs nodes requested |
+//! | `fig3` | Mflops/node vs nodes requested |
+//! | `fig4` | 16-node performance history |
+//! | `fig5` | performance vs system intervention |
+//! | `calibration` | §5 reference kernels (240 Mflops matmul etc.) |
+//! | `iowait` | §7 extension: measured I/O-wait attribution |
+//! | `summary` | headline statistics vs the paper |
 //!
 //! ```no_run
-//! use sp2_core::Sp2System;
+//! use sp2_core::{experiments, Sp2System};
 //!
-//! let mut system = Sp2System::nas_1996(30); // 30-day campaign
-//! let fig1 = sp2_core::experiments::fig1::run(system.campaign());
-//! println!("{}", fig1.render());
+//! let mut system = Sp2System::builder().days(30).threads(0).build();
+//! let fig1 = system.dataset(experiments::experiment("fig1").unwrap());
+//! println!("{}", fig1.rendered);
 //! ```
 
 pub mod experiments;
 pub mod export;
+pub mod json;
 pub mod plot;
 pub mod render;
 pub mod system;
 
+pub use experiments::{all_experiments, experiment, Dataset, Experiment, SelectionKind};
+pub use json::{Json, ToJson};
 pub use sp2_cluster::{CampaignResult, ClusterConfig};
 pub use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
-pub use system::Sp2System;
+pub use system::{Sp2System, Sp2SystemBuilder};

@@ -61,10 +61,7 @@ mod tests {
         let t = table(
             "T",
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(t.contains("T\n"));
         assert!(t.contains("a    bbbb"));
@@ -79,7 +76,12 @@ mod tests {
 
     #[test]
     fn series_renders_points() {
-        let s = series("S", "day", &["gflops"], &[(0.0, vec![1.25]), (1.0, vec![2.5])]);
+        let s = series(
+            "S",
+            "day",
+            &["gflops"],
+            &[(0.0, vec![1.25]), (1.0, vec![2.5])],
+        );
         assert!(s.contains("day"));
         assert!(s.contains("1.250"));
         assert!(s.contains("2.500"));

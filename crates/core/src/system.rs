@@ -1,54 +1,148 @@
 //! System assembly and campaign caching.
 
-use sp2_cluster::{run_campaign, CampaignResult, ClusterConfig};
+use crate::experiments::{Dataset, Experiment, SelectionKind};
+use sp2_cluster::{run_campaign_with_threads, run_replications, CampaignResult, ClusterConfig};
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+use std::collections::HashMap;
+
+/// Default seed for the measured workload library (the campaign year).
+const DEFAULT_LIBRARY_SEED: u64 = 1998;
 
 /// The assembled NAS SP2 measurement system.
 ///
 /// Owns the cluster configuration, the measured workload library, the
-/// job-mix model, and the campaign spec; lazily runs and caches the
-/// campaign so several experiments can share one simulation.
+/// job-mix model, and the campaign spec; lazily runs and caches one
+/// campaign per counter selection so all twelve experiments can share
+/// simulations. Campaigns run on the parallel engine — `threads`
+/// controls the worker count, and results are bit-identical at any
+/// thread count.
 pub struct Sp2System {
     config: ClusterConfig,
     library: WorkloadLibrary,
     mix: JobMix,
     spec: CampaignSpec,
-    campaign: Option<CampaignResult>,
+    threads: usize,
+    campaigns: HashMap<SelectionKind, CampaignResult>,
+}
+
+/// Builder for [`Sp2System`]: the paper's configuration with any subset
+/// of knobs overridden. Replaces the old all-positional `custom()`.
+pub struct Sp2SystemBuilder {
+    config: ClusterConfig,
+    library: Option<WorkloadLibrary>,
+    library_seed: u64,
+    mix: JobMix,
+    spec: CampaignSpec,
+    threads: usize,
+}
+
+impl Default for Sp2SystemBuilder {
+    fn default() -> Self {
+        Sp2SystemBuilder {
+            config: ClusterConfig::default(),
+            library: None,
+            library_seed: DEFAULT_LIBRARY_SEED,
+            mix: JobMix::nas(),
+            spec: CampaignSpec::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl Sp2SystemBuilder {
+    /// Replaces the cluster configuration.
+    pub fn config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses a prebuilt workload library instead of building one from the
+    /// machine description and [`Sp2SystemBuilder::library_seed`].
+    pub fn library(mut self, library: WorkloadLibrary) -> Self {
+        self.library = Some(library);
+        self
+    }
+
+    /// Seed for building the workload library (default 1998).
+    pub fn library_seed(mut self, seed: u64) -> Self {
+        self.library_seed = seed;
+        self
+    }
+
+    /// Replaces the job mix.
+    pub fn mix(mut self, mix: JobMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Replaces the whole campaign spec.
+    pub fn spec(mut self, spec: CampaignSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Campaign length in days.
+    pub fn days(mut self, days: u32) -> Self {
+        self.spec.days = days;
+        self
+    }
+
+    /// Campaign trace seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Worker threads for the campaign engine (0 = one per core,
+    /// default 1). Results are identical at any setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Assembles the system.
+    pub fn build(self) -> Sp2System {
+        let library = self
+            .library
+            .unwrap_or_else(|| WorkloadLibrary::build(&self.config.machine, self.library_seed));
+        Sp2System {
+            config: self.config,
+            library,
+            mix: self.mix,
+            spec: self.spec,
+            threads: self.threads,
+            campaigns: HashMap::new(),
+        }
+    }
 }
 
 impl Sp2System {
+    /// A builder starting from the paper's configuration.
+    pub fn builder() -> Sp2SystemBuilder {
+        Sp2SystemBuilder::default()
+    }
+
     /// The paper's configuration: 144 nodes, NAS counter selection, NAS
     /// job mix, with a campaign of `days` days (270 in the paper; shorter
     /// for quick runs).
     pub fn nas_1996(days: u32) -> Self {
-        let config = ClusterConfig::default();
-        let library = WorkloadLibrary::build(&config.machine, 1998);
-        Sp2System {
-            config,
-            library,
-            mix: JobMix::nas(),
-            spec: CampaignSpec {
-                days,
-                ..Default::default()
-            },
-            campaign: None,
-        }
+        Sp2System::builder().days(days).build()
     }
 
     /// Builds a system with every component explicit (ablations).
+    #[deprecated(note = "use Sp2System::builder() — positional construction is error-prone")]
     pub fn custom(
         config: ClusterConfig,
         library: WorkloadLibrary,
         mix: JobMix,
         spec: CampaignSpec,
     ) -> Self {
-        Sp2System {
-            config,
-            library,
-            mix,
-            spec,
-            campaign: None,
-        }
+        Sp2System::builder()
+            .config(config)
+            .library(library)
+            .mix(mix)
+            .spec(spec)
+            .build()
     }
 
     /// The cluster configuration.
@@ -66,19 +160,99 @@ impl Sp2System {
         &self.spec
     }
 
-    /// Runs (or returns the cached) campaign.
-    pub fn campaign(&mut self) -> &CampaignResult {
-        if self.campaign.is_none() {
-            let jobs = trace::generate(&self.spec, &self.mix, &self.library);
-            let result = run_campaign(&self.config, &self.library, &jobs, self.spec.days);
-            self.campaign = Some(result);
-        }
-        self.campaign.as_ref().unwrap()
+    /// Campaign-engine worker threads (0 = one per core).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Discards the cached campaign (after changing the spec).
+    /// Sets the worker-thread count for subsequent campaign runs.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The [`SelectionKind`] matching the system's own configuration, if
+    /// any. The primary campaign is cached under this kind.
+    fn own_kind(&self) -> Option<SelectionKind> {
+        [SelectionKind::Nas, SelectionKind::IoAware]
+            .into_iter()
+            .find(|k| k.selection() == self.config.selection)
+    }
+
+    /// Runs (or returns the cached) campaign under the system's own
+    /// counter selection.
+    pub fn campaign(&mut self) -> &CampaignResult {
+        let kind = self.own_kind().unwrap_or(SelectionKind::Nas);
+        self.campaign_with_selection(kind, true)
+    }
+
+    /// Runs (or returns the cached) campaign under `kind`'s counter
+    /// selection, re-running the simulation with the selection swapped
+    /// if the system's own configuration watches different counters.
+    pub fn campaign_for(&mut self, kind: SelectionKind) -> &CampaignResult {
+        let own = self.own_kind() == Some(kind);
+        self.campaign_with_selection(kind, own)
+    }
+
+    fn campaign_with_selection(&mut self, kind: SelectionKind, own: bool) -> &CampaignResult {
+        if !self.campaigns.contains_key(&kind) {
+            let mut config = self.config.clone();
+            if !own {
+                config.selection = kind.selection();
+            }
+            let jobs = trace::generate(&self.spec, &self.mix, &self.library);
+            let result = run_campaign_with_threads(
+                &config,
+                &self.library,
+                &jobs,
+                self.spec.days,
+                self.threads,
+            );
+            self.campaigns.insert(kind, result);
+        }
+        &self.campaigns[&kind]
+    }
+
+    /// Runs one experiment, providing whatever campaign it declares it
+    /// needs (none, the primary selection, or the io-aware selection).
+    pub fn dataset(&mut self, exp: &dyn Experiment) -> Dataset {
+        if exp.needs_campaign() {
+            exp.run(self.campaign_for(exp.selection()))
+        } else {
+            let empty = CampaignResult::empty(self.config.machine, exp.selection().selection());
+            exp.run(&empty)
+        }
+    }
+
+    /// Runs every registered experiment in presentation order.
+    pub fn run_all(&mut self) -> Vec<Dataset> {
+        crate::experiments::all_experiments()
+            .iter()
+            .map(|e| self.dataset(*e))
+            .collect()
+    }
+
+    /// Runs `replications` seed-sharded copies of the campaign in
+    /// parallel (seeds `spec.seed + 0..replications`), returning them in
+    /// replication order regardless of scheduling.
+    pub fn replicated_campaigns(&self, replications: usize) -> Vec<CampaignResult> {
+        run_replications(
+            &self.config,
+            &self.library,
+            &self.mix,
+            &self.spec,
+            replications,
+        )
+    }
+
+    /// Discards the cached campaigns (after changing the spec).
     pub fn invalidate(&mut self) {
-        self.campaign = None;
+        self.campaigns.clear();
+    }
+
+    /// Replaces the campaign spec and discards cached campaigns.
+    pub fn respec(&mut self, spec: CampaignSpec) {
+        self.spec = spec;
+        self.invalidate();
     }
 }
 
@@ -99,8 +273,41 @@ mod tests {
     fn invalidate_allows_respec() {
         let mut sys = Sp2System::nas_1996(1);
         assert_eq!(sys.campaign().days, 1);
-        sys.spec.days = 2;
-        sys.invalidate();
+        let spec = CampaignSpec {
+            days: 2,
+            ..*sys.spec()
+        };
+        sys.respec(spec);
         assert_eq!(sys.campaign().days, 2);
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let mut sys = Sp2System::builder().days(1).seed(11).threads(2).build();
+        assert_eq!(sys.spec().days, 1);
+        assert_eq!(sys.spec().seed, 11);
+        assert_eq!(sys.threads(), 2);
+        assert_eq!(sys.campaign().days, 1);
+    }
+
+    #[test]
+    fn io_aware_campaign_cached_separately() {
+        let mut sys = Sp2System::nas_1996(1);
+        let nas_samples = sys.campaign().samples.len();
+        let io = sys.campaign_for(crate::experiments::SelectionKind::IoAware);
+        assert!(io.selection.watches(sp2_hpm::Signal::IoWaitCycles));
+        assert_eq!(io.samples.len(), nas_samples);
+        assert!(!sys
+            .campaign_for(crate::experiments::SelectionKind::Nas)
+            .selection
+            .watches(sp2_hpm::Signal::IoWaitCycles));
+    }
+
+    #[test]
+    fn dataset_dispatches_per_experiment_needs() {
+        let mut sys = Sp2System::nas_1996(1);
+        let d = sys.dataset(crate::experiments::experiment("table1").unwrap());
+        assert_eq!(d.id, "table1");
+        assert!(d.rendered.contains("user.fxu0"));
     }
 }

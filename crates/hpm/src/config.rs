@@ -104,15 +104,32 @@ pub fn nas_selection() -> CounterSelection {
     use Signal::*;
     CounterSelection::new(&[
         // FXU[0..5]
-        Fxu0Exec, Fxu1Exec, DcacheMiss, TlbMiss, Cycles,
+        Fxu0Exec,
+        Fxu1Exec,
+        DcacheMiss,
+        TlbMiss,
+        Cycles,
         // FPU0[0..5]
-        Fpu0Exec, Fpu0Add, Fpu0Mul, Fpu0Div, Fpu0Fma,
+        Fpu0Exec,
+        Fpu0Add,
+        Fpu0Mul,
+        Fpu0Div,
+        Fpu0Fma,
         // FPU1[0..5]
-        Fpu1Exec, Fpu1Add, Fpu1Mul, Fpu1Div, Fpu1Fma,
+        Fpu1Exec,
+        Fpu1Add,
+        Fpu1Mul,
+        Fpu1Div,
+        Fpu1Fma,
         // ICU[0..2]
-        IcuType1, IcuType2,
+        IcuType1,
+        IcuType2,
         // SCU[0..5]
-        IcacheReload, DcacheReload, DcacheStore, DmaRead, DmaWrite,
+        IcacheReload,
+        DcacheReload,
+        DcacheStore,
+        DmaRead,
+        DmaWrite,
     ])
     .expect("NAS selection is well-formed by construction")
 }
@@ -127,15 +144,32 @@ pub fn io_aware_selection() -> CounterSelection {
     use Signal::*;
     CounterSelection::new(&[
         // FXU[0..5]
-        Fxu0Exec, Fxu1Exec, DcacheMiss, TlbMiss, Cycles,
+        Fxu0Exec,
+        Fxu1Exec,
+        DcacheMiss,
+        TlbMiss,
+        Cycles,
         // FPU0[0..5]
-        Fpu0Exec, Fpu0Add, Fpu0Mul, Fpu0Div, Fpu0Fma,
+        Fpu0Exec,
+        Fpu0Add,
+        Fpu0Mul,
+        Fpu0Div,
+        Fpu0Fma,
         // FPU1[0..5]
-        Fpu1Exec, Fpu1Add, Fpu1Mul, Fpu1Div, Fpu1Fma,
+        Fpu1Exec,
+        Fpu1Add,
+        Fpu1Mul,
+        Fpu1Div,
+        Fpu1Fma,
         // ICU[0..2]
-        IcuType1, IcuType2,
+        IcuType1,
+        IcuType2,
         // SCU[0..5] — IoWaitCycles replaces DcacheStore.
-        IcacheReload, DcacheReload, IoWaitCycles, DmaRead, DmaWrite,
+        IcacheReload,
+        DcacheReload,
+        IoWaitCycles,
+        DmaRead,
+        DmaWrite,
     ])
     .expect("io-aware selection is well-formed by construction")
 }
@@ -250,7 +284,10 @@ mod tests {
         assert_eq!(rows.len(), 22);
         let tlb = rows.iter().find(|r| r.counter == "user.tlb_mis").unwrap();
         assert!(tlb.description.contains("TLB"));
-        let dc = rows.iter().find(|r| r.counter == "user.dcache_mis").unwrap();
+        let dc = rows
+            .iter()
+            .find(|r| r.counter == "user.dcache_mis")
+            .unwrap();
         assert!(dc.description.contains("D-cache"));
         assert_ne!(tlb.description, dc.description);
     }

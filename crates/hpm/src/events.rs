@@ -65,13 +65,10 @@ impl EventSet {
 
     /// Iterates `(signal, count)` pairs for nonzero signals.
     pub fn nonzero(&self) -> impl Iterator<Item = (Signal, u64)> + '_ {
-        Signal::ALL
-            .iter()
-            .copied()
-            .filter_map(move |s| {
-                let c = self.get(s);
-                (c != 0).then_some((s, c))
-            })
+        Signal::ALL.iter().copied().filter_map(move |s| {
+            let c = self.get(s);
+            (c != 0).then_some((s, c))
+        })
     }
 
     // --- convenience derived totals used across the workspace ----------

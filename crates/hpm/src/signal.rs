@@ -124,8 +124,9 @@ impl Signal {
     pub fn group(self) -> SignalGroup {
         use Signal::*;
         match self {
-            Fxu0Exec | Fxu1Exec | DcacheMiss | TlbMiss | Cycles | StorageRefs
-            | FxuStallCycles => SignalGroup::Fxu,
+            Fxu0Exec | Fxu1Exec | DcacheMiss | TlbMiss | Cycles | StorageRefs | FxuStallCycles => {
+                SignalGroup::Fxu
+            }
             Fpu0Exec | Fpu0Add | Fpu0Mul | Fpu0Div | Fpu0Fma | Fpu0Sqrt => SignalGroup::Fpu0,
             Fpu1Exec | Fpu1Add | Fpu1Mul | Fpu1Div | Fpu1Fma | Fpu1Sqrt => SignalGroup::Fpu1,
             IcuType1 | IcuType2 | InstFetches => SignalGroup::Icu,

@@ -91,7 +91,10 @@ impl KernelBuilder {
     /// Declares a sequentially walked array: `stride` bytes per access,
     /// wrapping after `span` bytes.
     pub fn seq_array(&mut self, stride: u64, span: u64) -> u16 {
-        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        assert!(
+            span <= ARRAY_WINDOW,
+            "array span exceeds its address window"
+        );
         let base = self.auto_base();
         self.push_gen(AddrPattern::Seq { base, stride, span })
     }
@@ -106,7 +109,10 @@ impl KernelBuilder {
     /// Declares a two-level strided walk (`inner` unit-strided elements,
     /// then a jump of `outer`), wrapping after `span` bytes.
     pub fn strided_array(&mut self, stride: u64, inner: u32, outer: u64, span: u64) -> u16 {
-        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        assert!(
+            span <= ARRAY_WINDOW,
+            "array span exceeds its address window"
+        );
         let base = self.auto_base();
         self.push_gen(AddrPattern::Strided2D {
             base,
@@ -119,7 +125,10 @@ impl KernelBuilder {
 
     /// Declares a pseudo-randomly accessed region.
     pub fn random_array(&mut self, span: u64, align: u64) -> u16 {
-        assert!(span <= ARRAY_WINDOW, "array span exceeds its address window");
+        assert!(
+            span <= ARRAY_WINDOW,
+            "array span exceeds its address window"
+        );
         let base = self.auto_base();
         self.push_gen(AddrPattern::Random { base, span, align })
     }
@@ -135,7 +144,8 @@ impl KernelBuilder {
     /// Emits a doubleword load from `slot`, returning the loaded FPR.
     pub fn load_double(&mut self, slot: u16) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::memory(FxOp::LoadDouble, slot, Some(dst), &[]));
+        self.body
+            .push(Inst::memory(FxOp::LoadDouble, slot, Some(dst), &[]));
         dst
     }
 
@@ -152,7 +162,8 @@ impl KernelBuilder {
 
     /// Emits a doubleword store of `src` to `slot`.
     pub fn store_double(&mut self, slot: u16, src: RegId) {
-        self.body.push(Inst::memory(FxOp::StoreDouble, slot, None, &[src]));
+        self.body
+            .push(Inst::memory(FxOp::StoreDouble, slot, None, &[src]));
     }
 
     /// Emits a quad store of two FPRs (one instruction).
@@ -164,7 +175,8 @@ impl KernelBuilder {
     /// Emits a single-word load (integer data), returning the GPR.
     pub fn load_word(&mut self, slot: u16) -> RegId {
         let dst = self.fresh_gpr();
-        self.body.push(Inst::memory(FxOp::LoadSingle, slot, Some(dst), &[]));
+        self.body
+            .push(Inst::memory(FxOp::LoadSingle, slot, Some(dst), &[]));
         dst
     }
 
@@ -192,7 +204,8 @@ impl KernelBuilder {
     /// loaded value), returning the result GPR.
     pub fn int_alu_from(&mut self, src: RegId) -> RegId {
         let dst = self.fresh_gpr();
-        self.body.push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[src]));
+        self.body
+            .push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[src]));
         dst
     }
 
@@ -201,7 +214,8 @@ impl KernelBuilder {
     /// Emits `dst = a * b + c` (compound fma, 2 flops), returning `dst`.
     pub fn fma(&mut self, a: RegId, b: RegId, c: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Fma), Some(dst), &[a, b, c]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Fma), Some(dst), &[a, b, c]));
         dst
     }
 
@@ -217,35 +231,40 @@ impl KernelBuilder {
     /// Emits `dst = a + b`, returning `dst`.
     pub fn fadd(&mut self, a: RegId, b: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Add), Some(dst), &[a, b]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Add), Some(dst), &[a, b]));
         dst
     }
 
     /// Emits `dst = a * b`, returning `dst`.
     pub fn fmul(&mut self, a: RegId, b: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Mul), Some(dst), &[a, b]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Mul), Some(dst), &[a, b]));
         dst
     }
 
     /// Emits `dst = a / b` (10-cycle multicycle op), returning `dst`.
     pub fn fdiv(&mut self, a: RegId, b: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Div), Some(dst), &[a, b]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Div), Some(dst), &[a, b]));
         dst
     }
 
     /// Emits `dst = sqrt(a)` (15-cycle multicycle op), returning `dst`.
     pub fn fsqrt(&mut self, a: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Sqrt), Some(dst), &[a]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Sqrt), Some(dst), &[a]));
         dst
     }
 
     /// Emits an FPU register move.
     pub fn fmove(&mut self, a: RegId) -> RegId {
         let dst = self.fresh_fpr();
-        self.body.push(Inst::new(Op::Fp(FpOp::Move), Some(dst), &[a]));
+        self.body
+            .push(Inst::new(Op::Fp(FpOp::Move), Some(dst), &[a]));
         dst
     }
 
@@ -259,21 +278,24 @@ impl KernelBuilder {
     /// Emits an integer ALU op (loop index update, address add).
     pub fn int_alu(&mut self) -> RegId {
         let dst = self.fresh_gpr();
-        self.body.push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[]));
+        self.body
+            .push(Inst::new(Op::Fx(FxOp::IntAlu), Some(dst), &[]));
         dst
     }
 
     /// Emits an integer multiply (FXU1-only addressing arithmetic).
     pub fn int_mul(&mut self) -> RegId {
         let dst = self.fresh_gpr();
-        self.body.push(Inst::new(Op::Fx(FxOp::IntMul), Some(dst), &[]));
+        self.body
+            .push(Inst::new(Op::Fx(FxOp::IntMul), Some(dst), &[]));
         dst
     }
 
     /// Emits an integer divide (FXU1-only addressing arithmetic).
     pub fn int_div(&mut self) -> RegId {
         let dst = self.fresh_gpr();
-        self.body.push(Inst::new(Op::Fx(FxOp::IntDiv), Some(dst), &[]));
+        self.body
+            .push(Inst::new(Op::Fx(FxOp::IntDiv), Some(dst), &[]));
         dst
     }
 
@@ -291,7 +313,8 @@ impl KernelBuilder {
 
     /// Emits the loop-closing backward branch (ICU type I).
     pub fn loop_back(&mut self) {
-        self.body.push(Inst::new(Op::Br(BrKind::LoopBack), None, &[]));
+        self.body
+            .push(Inst::new(Op::Br(BrKind::LoopBack), None, &[]));
     }
 
     /// Number of instructions emitted so far.

@@ -100,14 +100,23 @@ impl Kernel {
     pub fn validate(&self) -> Result<(), String> {
         for (i, inst) in self.body.iter().enumerate() {
             if !inst.registers_valid() {
-                return Err(format!("{}: instruction {i} names an invalid register", self.name));
+                return Err(format!(
+                    "{}: instruction {i} names an invalid register",
+                    self.name
+                ));
             }
             match (inst.op.is_memory(), inst.mem_slot) {
                 (true, None) => {
-                    return Err(format!("{}: instruction {i} is a storage op without a slot", self.name))
+                    return Err(format!(
+                        "{}: instruction {i} is a storage op without a slot",
+                        self.name
+                    ))
                 }
                 (false, Some(_)) => {
-                    return Err(format!("{}: instruction {i} carries a slot but is not a storage op", self.name))
+                    return Err(format!(
+                        "{}: instruction {i} carries a slot but is not a storage op",
+                        self.name
+                    ))
                 }
                 (true, Some(s)) if s as usize >= self.addr_gens.len() => {
                     return Err(format!(
@@ -183,20 +192,12 @@ impl Kernel {
 
 /// Helper: per-iteration count of a specific fixed-point op.
 pub fn count_fx(kernel: &Kernel, op: FxOp) -> u64 {
-    kernel
-        .body
-        .iter()
-        .filter(|i| i.op == Op::Fx(op))
-        .count() as u64
+    kernel.body.iter().filter(|i| i.op == Op::Fx(op)).count() as u64
 }
 
 /// Helper: per-iteration count of a specific floating-point op.
 pub fn count_fp(kernel: &Kernel, op: FpOp) -> u64 {
-    kernel
-        .body
-        .iter()
-        .filter(|i| i.op == Op::Fp(op))
-        .count() as u64
+    kernel.body.iter().filter(|i| i.op == Op::Fp(op)).count() as u64
 }
 
 #[cfg(test)]

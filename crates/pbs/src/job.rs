@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Unique batch job identifier; also the x-axis of Figure 4
 /// ("performance … as a function of batch job id").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// What a user submits.

@@ -143,10 +143,8 @@ impl Pbs {
                     nodes: nodes.clone(),
                     start: now,
                 };
-                self.states.insert(
-                    job.spec.id,
-                    JobState::Running { start: now, nodes },
-                );
+                self.states
+                    .insert(job.spec.id, JobState::Running { start: now, nodes });
                 self.running.insert(job.spec.id, job.clone());
                 started.push(job);
             } else {
@@ -170,10 +168,8 @@ impl Pbs {
                             nodes: nodes.clone(),
                             start: now,
                         };
-                        self.states.insert(
-                            job.spec.id,
-                            JobState::Running { start: now, nodes },
-                        );
+                        self.states
+                            .insert(job.spec.id, JobState::Running { start: now, nodes });
                         self.running.insert(job.spec.id, job.clone());
                         started.push(job);
                         // Do not advance: removal shifted the queue.
@@ -232,7 +228,10 @@ mod tests {
         let started = pbs.schedule(0.0);
         assert_eq!(started.len(), 2);
         assert_eq!(pbs.free_nodes(), 0);
-        assert!(matches!(pbs.state(JobId(1)), Some(JobState::Running { .. })));
+        assert!(matches!(
+            pbs.state(JobId(1)),
+            Some(JobState::Running { .. })
+        ));
         let rec = pbs.finish(JobId(1), 100.0);
         assert_eq!(rec.nodes.len(), 4);
         assert_eq!(pbs.free_nodes(), 4);
@@ -292,7 +291,11 @@ mod tests {
         assert!(started.is_empty(), "drain mode must not backfill");
         pbs.finish(JobId(1), 2.0);
         let started = pbs.schedule(2.0);
-        assert_eq!(started.len(), 2, "drained machine runs the big job, then backfills");
+        assert_eq!(
+            started.len(),
+            2,
+            "drained machine runs the big job, then backfills"
+        );
         assert_eq!(started[0].spec.id, JobId(2));
     }
 

@@ -125,7 +125,10 @@ mod tests {
         let sig = page_fault_signature(&cfg);
         assert!(sig.events.get(Signal::DcacheMiss) > 0);
         assert!(sig.events.get(Signal::TlbMiss) > 0);
-        assert!(sig.events.get(Signal::DcacheStore) > 0, "page copy casts out");
+        assert!(
+            sig.events.get(Signal::DcacheStore) > 0,
+            "page copy casts out"
+        );
     }
 
     #[test]

@@ -33,11 +33,13 @@ pub mod cache;
 pub mod config;
 pub mod handler;
 pub mod node;
+pub mod sigcache;
 pub mod signature;
 pub mod tlb;
 
 pub use cache::{AccessOutcome, Cache, CacheConfig, WritePolicy};
 pub use config::{FpuDispatch, MachineConfig};
 pub use node::{Node, RunStats};
+pub use sigcache::SignatureCache;
 pub use signature::{measure_on_fresh_node, KernelSignature};
 pub use tlb::Tlb;

@@ -162,8 +162,7 @@ impl Node {
 
         let body = &kernel.body;
         let fetch_groups_per_iter = (body.len() as u64).div_ceil(8);
-        let icache_lines =
-            (self.config.icache.bytes / self.config.icache.line_bytes) as u32;
+        let icache_lines = (self.config.icache.bytes / self.config.icache.line_bytes) as u32;
 
         for iter in 0..kernel.iters {
             // --- instruction fetch & I-cache ---------------------------
@@ -319,8 +318,8 @@ impl Node {
         let done;
         if fx.is_memory() {
             events.bump(Signal::StorageRefs, 1);
-            let addr = gens[inst.mem_slot.expect("validated: memory op has slot") as usize]
-                .next_addr();
+            let addr =
+                gens[inst.mem_slot.expect("validated: memory op has slot") as usize].next_addr();
             let is_store = fx.is_store();
 
             let mut penalty = 0;
@@ -675,7 +674,10 @@ mod tests {
         let s1 = n.run_kernel(&k);
         n.reset_memory_state();
         let s2 = n.run_kernel(&k);
-        assert_eq!(s1.events.get(Signal::DcacheMiss), s2.events.get(Signal::DcacheMiss));
+        assert_eq!(
+            s1.events.get(Signal::DcacheMiss),
+            s2.events.get(Signal::DcacheMiss)
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Process-wide memoization of kernel signature measurements.
+//!
+//! Measuring a [`KernelSignature`] means cycle-simulating the kernel on a
+//! fresh node — tens of milliseconds per kernel, and the workload library,
+//! calibration suite, and cluster simulation all re-measure the same
+//! handful of kernels (the page-fault handler and daemon sampler alone
+//! are measured once per campaign). Since `measure_on_fresh_node` is a
+//! pure function of (kernel, machine config, seed), its results can be
+//! shared across threads for the lifetime of the process.
+//!
+//! Keys are the `Debug` rendering of the full measurement input. That
+//! covers every field that can influence the simulation (including
+//! `iters` and the memory layout), and comparing full strings rather
+//! than hashes rules out collisions entirely.
+
+use crate::config::MachineConfig;
+use crate::node::Node;
+use crate::signature::KernelSignature;
+use parking_lot::Mutex;
+use sp2_isa::Kernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Shared memo table for signature measurements.
+#[derive(Debug, Default)]
+pub struct SignatureCache {
+    map: Mutex<HashMap<String, KernelSignature>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SignatureCache {
+    /// Creates an empty cache (tests use private caches; production code
+    /// goes through [`SignatureCache::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache every [`measure_on_fresh_node`] call
+    /// shares.
+    ///
+    /// [`measure_on_fresh_node`]: crate::signature::measure_on_fresh_node
+    pub fn global() -> &'static SignatureCache {
+        static GLOBAL: OnceLock<SignatureCache> = OnceLock::new();
+        GLOBAL.get_or_init(SignatureCache::new)
+    }
+
+    /// Measures `kernel` on a fresh node with `config` and `seed`,
+    /// returning a memoized result when an identical measurement has
+    /// already run (in any thread).
+    pub fn measure(&self, kernel: &Kernel, config: &MachineConfig, seed: u64) -> KernelSignature {
+        let key = Self::key(kernel, config, seed);
+        if let Some(sig) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return sig.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Simulate outside the lock: measurements are expensive and
+        // deterministic, so a racing duplicate costs time, not
+        // correctness — last writer inserts an identical value.
+        let mut node = Node::with_seed(*config, seed);
+        let sig = KernelSignature::measure(&mut node, kernel);
+        self.map.lock().insert(key, sig.clone());
+        sig
+    }
+
+    fn key(kernel: &Kernel, config: &MachineConfig, seed: u64) -> String {
+        format!("{seed:#x}|{config:?}|{kernel:?}")
+    }
+
+    /// Measurements answered from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Measurements that ran the simulator.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct measurements currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached measurements and zeroes the hit/miss counters.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2_isa::KernelBuilder;
+
+    fn tiny_kernel(name: &str, iters: u64) -> Kernel {
+        let mut b = KernelBuilder::new(name);
+        let a = b.seq_array(8, 1 << 20);
+        let x = b.load_double(a);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        b.build(iters)
+    }
+
+    #[test]
+    fn second_measurement_hits() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        let k = tiny_kernel("memo", 500);
+        let a = cache.measure(&k, &cfg, 7);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.measure(&k, &cfg, 7);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_inputs_miss() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        let k = tiny_kernel("memo", 500);
+        cache.measure(&k, &cfg, 1);
+        cache.measure(&k, &cfg, 2); // different seed
+        cache.measure(&tiny_kernel("memo", 600), &cfg, 1); // different iters
+        let mut slow = cfg;
+        slow.clock_hz /= 2.0;
+        cache.measure(&k, &slow, 1); // different machine
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cached_result_matches_fresh_measurement() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        let k = tiny_kernel("memo", 800);
+        let cached = cache.measure(&k, &cfg, 3);
+        let mut node = Node::with_seed(cfg, 3);
+        let fresh = KernelSignature::measure(&mut node, &k);
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn clear_resets_counters_and_table() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        cache.measure(&tiny_kernel("memo", 100), &cfg, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        let k = tiny_kernel("memo", 300);
+        cache.measure(&k, &cfg, 5);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let sig = cache.measure(&k, &cfg, 5);
+                    assert_eq!(sig.iters, 300);
+                });
+            }
+        });
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -83,9 +83,17 @@ impl KernelSignature {
 
 /// Measures a kernel on a fresh NAS-configured node (cold caches,
 /// deterministic seed). Convenience for workload construction.
-pub fn measure_on_fresh_node(kernel: &Kernel, config: &MachineConfig, seed: u64) -> KernelSignature {
-    let mut node = Node::with_seed(*config, seed);
-    KernelSignature::measure(&mut node, kernel)
+///
+/// Measurement is a pure function of its inputs, so results are memoized
+/// in the process-wide [`SignatureCache`](crate::sigcache::SignatureCache):
+/// repeated measurements of the same kernel (library rebuilds, campaign
+/// replications, calibration reruns) pay the cycle simulation once.
+pub fn measure_on_fresh_node(
+    kernel: &Kernel,
+    config: &MachineConfig,
+    seed: u64,
+) -> KernelSignature {
+    crate::sigcache::SignatureCache::global().measure(kernel, config, seed)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use crate::rates::RateReport;
 use serde::{Deserialize, Serialize};
-use sp2_hpm::{CounterDelta, CounterSnapshot, CounterSelection};
+use sp2_hpm::{CounterDelta, CounterSelection, CounterSnapshot};
 
 /// The cron cadence: 15 minutes.
 pub const SAMPLE_INTERVAL_S: f64 = 900.0;
@@ -63,21 +63,45 @@ impl Daemon {
     /// can be formed), matching how the real script behaved after node
     /// reboots.
     pub fn collect<S: CounterSource>(&mut self, source: &S, t: f64) -> &SystemSample {
+        let snapshots: Vec<Option<CounterSnapshot>> = (0..source.node_count())
+            .map(|node| source.node_available(node).then(|| source.snapshot(node)))
+            .collect();
+        self.collect_batch(&snapshots, t)
+    }
+
+    /// Ingests one machine-wide batch of snapshots taken at time `t`
+    /// (`None` marks a node that was unavailable this pass).
+    ///
+    /// This is the bulk entry point for callers that already snapshot
+    /// every node in a single pass — the cluster simulator advances all
+    /// nodes (possibly in parallel) and hands the whole batch over. The
+    /// delta/baseline bookkeeping is identical to [`Daemon::collect`];
+    /// nodes are always folded in index order, so the resulting sample is
+    /// bit-identical however the snapshots were produced.
+    pub fn collect_batch(
+        &mut self,
+        snapshots: &[Option<CounterSnapshot>],
+        t: f64,
+    ) -> &SystemSample {
+        assert_eq!(
+            snapshots.len(),
+            self.prev.len(),
+            "batch must cover every node of the machine"
+        );
         let n_slots = self.selection.len();
         let mut total = CounterDelta::zero(n_slots);
         let mut nodes_sampled = 0;
-        for node in 0..source.node_count() {
-            if !source.node_available(node) {
+        for (node, snap) in snapshots.iter().enumerate() {
+            let Some(snap) = snap else {
                 self.prev[node] = None;
                 continue;
-            }
-            let snap = source.snapshot(node);
+            };
             if let Some(prev) = &self.prev[node] {
-                let d = CounterDelta::between(prev, &snap);
+                let d = CounterDelta::between(prev, snap);
                 total.accumulate(&d);
                 nodes_sampled += 1;
             }
-            self.prev[node] = Some(snap);
+            self.prev[node] = Some(snap.clone());
         }
         let interval = self
             .samples
@@ -189,6 +213,31 @@ mod tests {
         let s = d.collect(&toy, 2700.0);
         assert_eq!(s.nodes_sampled, 3);
         assert_eq!(s.total.user[slot], 10);
+    }
+
+    #[test]
+    fn collect_batch_matches_per_node_collect() {
+        let mut toy = Toy::new();
+        let mut a = Daemon::new(nas_selection(), 3);
+        let mut b = Daemon::new(nas_selection(), 3);
+        for (t, down2) in [(0.0, false), (900.0, true), (1800.0, false)] {
+            toy.down[2] = down2;
+            toy.work(0, 250);
+            toy.work(2, 40);
+            let sa = a.collect(&toy, t).clone();
+            let snaps: Vec<_> = (0..3)
+                .map(|n| toy.node_available(n).then(|| toy.snapshot(n)))
+                .collect();
+            let sb = b.collect_batch(&snaps, t).clone();
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every node")]
+    fn collect_batch_rejects_short_batches() {
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect_batch(&[None], 0.0);
     }
 
     #[test]

@@ -144,7 +144,11 @@ impl RateReport {
             icache_miss: user(Signal::IcacheReload) / m,
             dma_read: user(Signal::DmaRead) / m,
             dma_write: user(Signal::DmaWrite) / m,
-            system_user_fxu_ratio: if usr_fxu > 0.0 { sys_fxu / usr_fxu } else { 0.0 },
+            system_user_fxu_ratio: if usr_fxu > 0.0 {
+                sys_fxu / usr_fxu
+            } else {
+                0.0
+            },
             io_wait_cycles: (user(Signal::IoWaitCycles) + system(Signal::IoWaitCycles)) / m,
         }
     }

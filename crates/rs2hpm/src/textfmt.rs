@@ -128,8 +128,12 @@ pub fn parse_job_report(
         }
         // "<LABEL> <name> user=<n> system=<n>"
         let mut parts = line.split_whitespace();
-        let label = parts.next().ok_or_else(|| ParseError::BadCounter(line.into()))?;
-        let _name = parts.next().ok_or_else(|| ParseError::BadCounter(line.into()))?;
+        let label = parts
+            .next()
+            .ok_or_else(|| ParseError::BadCounter(line.into()))?;
+        let _name = parts
+            .next()
+            .ok_or_else(|| ParseError::BadCounter(line.into()))?;
         let user = parts
             .next()
             .and_then(|p| p.strip_prefix("user="))
@@ -194,8 +198,7 @@ mod tests {
         assert_eq!(parsed.total, report.total);
         assert!((parsed.rates.mflops - report.rates.mflops).abs() < 1e-9);
         assert!(
-            (parsed.rates.system_user_fxu_ratio - report.rates.system_user_fxu_ratio).abs()
-                < 1e-12
+            (parsed.rates.system_user_fxu_ratio - report.rates.system_user_fxu_ratio).abs() < 1e-12
         );
     }
 
@@ -221,10 +224,7 @@ mod tests {
         let (report, sel) = sample_report();
         let text = write_job_report(&report, &sel);
         // Drop one counter line.
-        let truncated: Vec<&str> = text
-            .lines()
-            .filter(|l| !l.starts_with("SCU[4]"))
-            .collect();
+        let truncated: Vec<&str> = text.lines().filter(|l| !l.starts_with("SCU[4]")).collect();
         let err = parse_job_report(&truncated.join("\n"), &sel).unwrap_err();
         assert_eq!(err, ParseError::MissingCounters(21));
     }

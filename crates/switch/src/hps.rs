@@ -78,8 +78,7 @@ impl HpsSwitch {
     /// per-link serialization and linear fabric scaling this is
     /// independent of the node count — the property NAS validated.
     pub fn exchange_time(&self, bytes: u64, neighbors: u32) -> f64 {
-        self.config.latency_s
-            + neighbors as f64 * bytes as f64 / self.config.bandwidth_bytes_per_s
+        self.config.latency_s + neighbors as f64 * bytes as f64 / self.config.bandwidth_bytes_per_s
     }
 
     /// Total bytes the fabric has carried.
@@ -102,7 +101,10 @@ mod tests {
     fn transfer_time_latency_plus_serialization() {
         let s = HpsSwitch::new(4, SwitchConfig::default());
         let t = s.transfer_time(34_000_000);
-        assert!((t - (45e-6 + 1.0)).abs() < 1e-9, "34 MB takes 1 s + latency");
+        assert!(
+            (t - (45e-6 + 1.0)).abs() < 1e-9,
+            "34 MB takes 1 s + latency"
+        );
         let small = s.transfer_time(0);
         assert!((small - 45e-6).abs() < 1e-12);
     }
@@ -124,7 +126,10 @@ mod tests {
         let bytes = 3_400_000;
         let t1 = s.send(0, 1, bytes, 0.0);
         let t2 = s.send(2, 3, bytes, 0.0);
-        assert!((t1 - t2).abs() < 1e-12, "linear scaling: no cross-pair contention");
+        assert!(
+            (t1 - t2).abs() < 1e-12,
+            "linear scaling: no cross-pair contention"
+        );
     }
 
     #[test]

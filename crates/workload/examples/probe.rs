@@ -6,18 +6,31 @@ fn main() {
     let cfg = MachineConfig::nas_sp2();
     for (name, k) in [
         ("matmul", blocked_matmul_kernel(30_000)),
-        ("cfd", cfd_kernel("cfd", &CfdKernelParams::default(), 20_000)),
+        (
+            "cfd",
+            cfd_kernel("cfd", &CfdKernelParams::default(), 20_000),
+        ),
     ] {
         let mut n = Node::with_seed(cfg, 42);
         let s = n.run_kernel(&k);
         let cpi = s.cycles as f64 / k.iters as f64;
-        println!("{name}: mflops={:.1} cycles/iter={:.2} instr/iter={:.1} ipc={:.2} stall/iter={:.2}",
-            s.mflops(&cfg), cpi, s.instructions as f64 / k.iters as f64, s.ipc(),
-            s.stall_cycles as f64 / k.iters as f64);
-        println!("  fxu0={} fxu1={} fpu0={} fpu1={} dmiss={} tlb={} castout={}",
-            s.events.get(Signal::Fxu0Exec)/k.iters, s.events.get(Signal::Fxu1Exec)/k.iters,
-            s.events.get(Signal::Fpu0Exec)/k.iters, s.events.get(Signal::Fpu1Exec)/k.iters,
-            s.events.get(Signal::DcacheMiss), s.events.get(Signal::TlbMiss),
-            s.events.get(Signal::DcacheStore));
+        println!(
+            "{name}: mflops={:.1} cycles/iter={:.2} instr/iter={:.1} ipc={:.2} stall/iter={:.2}",
+            s.mflops(&cfg),
+            cpi,
+            s.instructions as f64 / k.iters as f64,
+            s.ipc(),
+            s.stall_cycles as f64 / k.iters as f64
+        );
+        println!(
+            "  fxu0={} fxu1={} fpu0={} fpu1={} dmiss={} tlb={} castout={}",
+            s.events.get(Signal::Fxu0Exec) / k.iters,
+            s.events.get(Signal::Fxu1Exec) / k.iters,
+            s.events.get(Signal::Fpu0Exec) / k.iters,
+            s.events.get(Signal::Fpu1Exec) / k.iters,
+            s.events.get(Signal::DcacheMiss),
+            s.events.get(Signal::TlbMiss),
+            s.events.get(Signal::DcacheStore)
+        );
     }
 }

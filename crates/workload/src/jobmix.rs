@@ -110,7 +110,11 @@ impl JobMix {
                 // Bigger node counts meant bigger problems: weight the
                 // selection toward the heavier working sets.
                 paging.sort_by_key(|&id| library.program(id).mem_per_node);
-                let lo = if rng.gen_bool(0.7) { paging.len() / 2 } else { 0 };
+                let lo = if rng.gen_bool(0.7) {
+                    paging.len() / 2
+                } else {
+                    0
+                };
                 return paging[rng.gen_range(lo..paging.len())];
             }
         }

@@ -34,4 +34,4 @@ pub use kernels::{
 pub use library::WorkloadLibrary;
 pub use program::{CommSpec, JobProgram, ProgramFamily, ProgramId};
 pub use sp2_power2::KernelSignature;
-pub use trace::{CampaignSpec, SubmittedJob};
+pub use trace::{CampaignSpec, CampaignSpecBuilder, CampaignSpecError, SubmittedJob};

@@ -41,6 +41,101 @@ impl Default for CampaignSpec {
     }
 }
 
+impl CampaignSpec {
+    /// Starts a validated builder seeded with the paper's defaults.
+    /// Prefer this over field-struct construction: the builder rejects
+    /// specs the generator would turn into empty or nonsensical traces.
+    pub fn builder() -> CampaignSpecBuilder {
+        CampaignSpecBuilder {
+            spec: CampaignSpec::default(),
+        }
+    }
+}
+
+/// A [`CampaignSpec`] that failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignSpecError {
+    /// `days == 0`: a zero-length campaign has no samples and no jobs.
+    NoDays,
+    /// Non-positive submission rate: the trace would be empty.
+    NonPositiveRate { mean_jobs_per_day: f64 },
+    /// Weekend factor outside `[0, ∞)` (negative demand is meaningless).
+    NegativeWeekendFactor { weekend_factor: f64 },
+}
+
+impl std::fmt::Display for CampaignSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignSpecError::NoDays => write!(f, "campaign must span at least one day"),
+            CampaignSpecError::NonPositiveRate { mean_jobs_per_day } => {
+                write!(
+                    f,
+                    "mean jobs per day must be positive, got {mean_jobs_per_day}"
+                )
+            }
+            CampaignSpecError::NegativeWeekendFactor { weekend_factor } => {
+                write!(
+                    f,
+                    "weekend factor must be non-negative, got {weekend_factor}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignSpecError {}
+
+/// Validated construction for [`CampaignSpec`].
+#[derive(Debug, Clone)]
+pub struct CampaignSpecBuilder {
+    spec: CampaignSpec,
+}
+
+impl CampaignSpecBuilder {
+    /// Campaign length in days.
+    pub fn days(mut self, days: u32) -> Self {
+        self.spec.days = days;
+        self
+    }
+
+    /// Master seed for the submission process.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Mean weekday submission rate.
+    pub fn mean_jobs_per_day(mut self, mean_jobs_per_day: f64) -> Self {
+        self.spec.mean_jobs_per_day = mean_jobs_per_day;
+        self
+    }
+
+    /// Weekend demand factor.
+    pub fn weekend_factor(mut self, weekend_factor: f64) -> Self {
+        self.spec.weekend_factor = weekend_factor;
+        self
+    }
+
+    /// Validates and produces the spec.
+    pub fn build(self) -> Result<CampaignSpec, CampaignSpecError> {
+        let s = self.spec;
+        if s.days == 0 {
+            return Err(CampaignSpecError::NoDays);
+        }
+        if s.mean_jobs_per_day <= 0.0 || s.mean_jobs_per_day.is_nan() {
+            return Err(CampaignSpecError::NonPositiveRate {
+                mean_jobs_per_day: s.mean_jobs_per_day,
+            });
+        }
+        if s.weekend_factor < 0.0 || s.weekend_factor.is_nan() {
+            return Err(CampaignSpecError::NegativeWeekendFactor {
+                weekend_factor: s.weekend_factor,
+            });
+        }
+        Ok(s)
+    }
+}
+
 /// One submitted job, before PBS sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SubmittedJob {
@@ -81,7 +176,11 @@ pub fn generate(spec: &CampaignSpec, mix: &JobMix, library: &WorkloadLibrary) ->
         let d = day as f64;
         // Weekly pattern: days 5, 6 of each week are the weekend.
         let weekday = day % 7;
-        let mut factor = if weekday >= 5 { spec.weekend_factor } else { 1.0 };
+        let mut factor = if weekday >= 5 {
+            spec.weekend_factor
+        } else {
+            1.0
+        };
         // Day-to-day demand noise (log-normal, σ ≈ 0.45).
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -113,8 +212,7 @@ pub fn generate(spec: &CampaignSpec, mix: &JobMix, library: &WorkloadLibrary) ->
             // filter removes from the batch analysis.
             if matches!(
                 family,
-                crate::program::ProgramFamily::DevKernel
-                    | crate::program::ProgramFamily::SeqBench
+                crate::program::ProgramFamily::DevKernel | crate::program::ProgramFamily::SeqBench
             ) {
                 duration_s = duration_s.min(rng.gen_range(120.0..540.0));
             }
@@ -235,6 +333,25 @@ mod tests {
     }
 
     #[test]
+    fn builder_validates() {
+        let ok = CampaignSpec::builder().days(30).seed(7).build().unwrap();
+        assert_eq!(ok.days, 30);
+        assert_eq!(ok.seed, 7);
+        assert!(matches!(
+            CampaignSpec::builder().days(0).build(),
+            Err(CampaignSpecError::NoDays)
+        ));
+        assert!(matches!(
+            CampaignSpec::builder().mean_jobs_per_day(0.0).build(),
+            Err(CampaignSpecError::NonPositiveRate { .. })
+        ));
+        assert!(matches!(
+            CampaignSpec::builder().weekend_factor(-0.1).build(),
+            Err(CampaignSpecError::NegativeWeekendFactor { .. })
+        ));
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let cfg = MachineConfig::nas_sp2();
         let lib = WorkloadLibrary::build(&cfg, 3);
@@ -252,8 +369,7 @@ mod tests {
     fn poisson_mean_sane() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 4000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(12.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(12.0, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 12.0).abs() < 0.5, "poisson mean {mean}");
         assert_eq!(poisson(0.0, &mut rng), 0);
         let big = poisson(200.0, &mut rng);

@@ -1,5 +1,6 @@
 //! The full measurement campaign: replays the paper's nine-month study
-//! and regenerates every table and figure.
+//! and regenerates every table and figure through the experiment
+//! registry, on the parallel campaign engine.
 //!
 //! ```sh
 //! cargo run --release --example campaign            # full 270 days
@@ -8,8 +9,31 @@
 //!
 //! JSON artifacts for each experiment land in `target/experiments/`.
 
-use sp2_repro::core::experiments::{calibration, fig1, fig2, fig3, fig4, fig5, table1, table2, table3, table4};
-use sp2_repro::core::{export, plot, Sp2System};
+use sp2_repro::core::{export, plot, Json, Sp2System};
+
+/// Pulls a numeric series out of an experiment's JSON document.
+fn f64_series(doc: &Json, key: &str) -> Vec<f64> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .map(|items| items.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default()
+}
+
+/// Pulls an `[x, y]`-pair series out of an experiment's JSON document.
+fn pair_series(doc: &Json, key: &str) -> Vec<(f64, f64)> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|p| {
+                    let pair = p.as_arr()?;
+                    Some((pair.first()?.as_f64()?, pair.get(1)?.as_f64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
 
 fn main() {
     let days: u32 = std::env::args()
@@ -18,115 +42,76 @@ fn main() {
         .unwrap_or(270);
 
     println!("building workload library and running a {days}-day campaign…");
-    let mut system = Sp2System::nas_1996(days);
-    let machine = system.config().machine;
-    let campaign = system.campaign();
+    // threads(0): one worker per core; results are identical to -j 1.
+    let mut system = Sp2System::builder().days(days).threads(0).build();
+    let datasets = system.run_all();
 
-    let t1 = table1::run();
-    let t2 = table2::run(campaign);
-    let t3 = table3::run(campaign);
-    let t4 = table4::run(campaign, &machine);
-    let f1 = fig1::run(campaign);
-    let f2 = fig2::run(campaign);
-    let f3 = fig3::run(campaign);
-    let f4 = fig4::run(campaign);
-    let f5 = fig5::run(campaign);
-    let cal = calibration::run(&machine);
+    for dataset in &datasets {
+        println!("{}", dataset.rendered);
 
-    println!("{}", t1.render());
-    println!("{}", t2.render());
-    println!("{}", t3.render());
-    println!("{}", t4.render());
-    println!(
-        "Figure 1 summary: mean {:.2} Gflops (paper 1.3), util {:.0} % (64 %), \
-         max day {:.2} (3.4), max 15-min {:.2} (5.7), {} days > 2 Gflops\n",
-        f1.mean_gflops,
-        f1.mean_utilization * 100.0,
-        f1.max_daily_gflops,
-        f1.max_15min_gflops,
-        t2.good_days,
-    );
-    let daily: Vec<(f64, f64)> = f1
-        .daily_gflops
-        .iter()
-        .enumerate()
-        .map(|(d, &g)| (d as f64, g))
-        .collect();
-    let ma: Vec<(f64, f64)> = f1
-        .gflops_moving_avg
-        .iter()
-        .enumerate()
-        .map(|(d, &g)| (d as f64, g))
-        .collect();
-    println!(
-        "{}",
-        plot::scatter2(
-            "Figure 1 (plot): daily Gflops with moving average",
-            &daily,
-            &ma,
-            72,
-            14,
-        )
-    );
-    println!("{}", f2.render());
-    println!("{}", f3.render());
-    let f3_pts: Vec<(f64, f64)> = f3
-        .points
-        .iter()
-        .map(|&(n, y)| (n as f64, y))
-        .collect();
-    println!(
-        "{}",
-        plot::scatter(
-            "Figure 3 (plot): Mflops/node vs nodes requested",
-            &f3_pts,
-            72,
-            12,
-            '.',
-        )
-    );
-    println!(
-        "Figure 4 summary: {} 16-node jobs, mean {:.0} Mflops (paper 320), \
-         std {:.0} (200), trend {:+.3}\n",
-        f4.points.len(),
-        f4.mean,
-        f4.std,
-        f4.trend_mflops_per_job
-    );
-    println!("{}", f5.render());
-    let f5_pts: Vec<(f64, f64)> = f5
-        .points
-        .iter()
-        .filter(|(x, _)| *x < 5.0)
-        .map(|&(x, y)| (x, y))
-        .collect();
-    println!(
-        "{}",
-        plot::scatter(
-            "Figure 5 (plot): Mflops/node vs system/user FXU ratio",
-            &f5_pts,
-            72,
-            12,
-            '.',
-        )
-    );
-    println!("{}", cal.render());
-
-    for (name, res) in [
-        ("table1", export::write_json("table1", &t1)),
-        ("table2", export::write_json("table2", &t2)),
-        ("table3", export::write_json("table3", &t3)),
-        ("table4", export::write_json("table4", &t4)),
-        ("fig1", export::write_json("fig1", &f1)),
-        ("fig2", export::write_json("fig2", &f2)),
-        ("fig3", export::write_json("fig3", &f3)),
-        ("fig4", export::write_json("fig4", &f4)),
-        ("fig5", export::write_json("fig5", &f5)),
-        ("calibration", export::write_json("calibration", &cal)),
-    ] {
-        match res {
-            Ok(path) => println!("wrote {name} artifact: {}", path.display()),
-            Err(e) => eprintln!("failed to write {name}: {e}"),
+        // The figures the paper plots get ASCII scatter renderings too,
+        // driven entirely from the exported JSON documents.
+        match dataset.id {
+            "fig1" => {
+                let daily: Vec<(f64, f64)> = f64_series(&dataset.json, "daily_gflops")
+                    .into_iter()
+                    .enumerate()
+                    .map(|(d, g)| (d as f64, g))
+                    .collect();
+                let ma: Vec<(f64, f64)> = f64_series(&dataset.json, "gflops_moving_avg")
+                    .into_iter()
+                    .enumerate()
+                    .map(|(d, g)| (d as f64, g))
+                    .collect();
+                println!(
+                    "{}",
+                    plot::scatter2(
+                        "Figure 1 (plot): daily Gflops with moving average",
+                        &daily,
+                        &ma,
+                        72,
+                        14,
+                    )
+                );
+            }
+            "fig3" => {
+                let pts = pair_series(&dataset.json, "points");
+                println!(
+                    "{}",
+                    plot::scatter(
+                        "Figure 3 (plot): Mflops/node vs nodes requested",
+                        &pts,
+                        72,
+                        12,
+                        '.',
+                    )
+                );
+            }
+            "fig5" => {
+                let pts: Vec<(f64, f64)> = pair_series(&dataset.json, "points")
+                    .into_iter()
+                    .filter(|&(x, _)| x < 5.0)
+                    .collect();
+                println!(
+                    "{}",
+                    plot::scatter(
+                        "Figure 5 (plot): Mflops/node vs system/user FXU ratio",
+                        &pts,
+                        72,
+                        12,
+                        '.',
+                    )
+                );
+            }
+            _ => {}
         }
     }
+
+    for dataset in &datasets {
+        match dataset.write_artifact() {
+            Ok(path) => println!("wrote {} artifact: {}", dataset.id, path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", dataset.id),
+        }
+    }
+    println!("artifacts in {}", export::artifacts_dir().display());
 }

@@ -10,6 +10,7 @@
 //! cargo run --release --example cfd_job
 //! ```
 
+use sp2_repro::cluster::NodeState;
 use sp2_repro::cluster::{ActivityPlan, PagingModel};
 use sp2_repro::hpm::nas_selection;
 use sp2_repro::pbs::{JobId, JobSpec, Pbs};
@@ -17,7 +18,6 @@ use sp2_repro::power2::handler::page_fault_signature;
 use sp2_repro::rs2hpm::JobCounterReport;
 use sp2_repro::switch::SwitchConfig;
 use sp2_repro::workload::{ProgramFamily, WorkloadLibrary};
-use sp2_repro::cluster::NodeState;
 
 fn main() {
     let machine = sp2_repro::power2::MachineConfig::nas_sp2();
@@ -40,7 +40,9 @@ fn main() {
         .expect("library has oversubscribed programs");
 
     let mut pbs = Pbs::new(144);
-    let mut nodes: Vec<NodeState> = (0..144).map(|_| NodeState::new(selection.clone())).collect();
+    let mut nodes: Vec<NodeState> = (0..144)
+        .map(|_| NodeState::new(selection.clone()))
+        .collect();
 
     // Jobs run back-to-back: the second starts when the first ends.
     let mut now = 0.0f64;
@@ -94,7 +96,10 @@ fn main() {
         println!("  nodes            {:>8}", report.nodes);
         println!("  job Mflops       {:>8.1}", report.job_mflops());
         println!("  Mflops per node  {:>8.2}", report.mflops_per_node());
-        println!("  sys/user FXU     {:>8.2}", report.rates.system_user_fxu_ratio);
+        println!(
+            "  sys/user FXU     {:>8.2}",
+            report.rates.system_user_fxu_ratio
+        );
         println!(
             "  paging suspected {:>8}  (system instructions exceed user)",
             report.paging_suspected()

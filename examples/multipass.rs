@@ -59,12 +59,21 @@ fn main() {
     }
     let estimate = plan.estimate(&observations);
 
-    println!("\n{:<18} {:>14} {:>14} {:>8}", "signal", "truth", "estimate", "err%");
+    println!(
+        "\n{:<18} {:>14} {:>14} {:>8}",
+        "signal", "truth", "estimate", "err%"
+    );
     for s in wanted {
         let t = truth.get(s) as f64;
         let e = estimate.get(s) as f64;
         let err = if t > 0.0 { 100.0 * (e - t) / t } else { 0.0 };
-        println!("{:<18} {:>14} {:>14} {:>7.2}%", format!("{s:?}"), t as u64, e as u64, err);
+        println!(
+            "{:<18} {:>14} {:>14} {:>7.2}%",
+            format!("{s:?}"),
+            t as u64,
+            e as u64,
+            err
+        );
     }
     println!("\nMultipass recovers full coverage at the cost of sampling error —");
     println!("the trade the RS2HPM tools made to report 'both user and system mode'.");

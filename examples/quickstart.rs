@@ -9,7 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sp2_repro::core::experiments::table1;
+use sp2_repro::cluster::CampaignResult;
+use sp2_repro::core::experiments::experiment;
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -17,7 +18,9 @@ use sp2_repro::workload::blocked_matmul_kernel;
 
 fn main() {
     // 1. The counter configuration NAS ran for nine months (Table 1).
-    println!("{}", table1::run().render());
+    //    Table 1 is campaign-independent, so an empty result suffices.
+    let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
+    println!("{}", experiment("table1").unwrap().render(&empty));
 
     // 2. One RS6000/590 node with its monitor.
     let machine = MachineConfig::nas_sp2();
@@ -35,14 +38,33 @@ fn main() {
 
     // 4. The user-visible report.
     println!("kernel: {}", kernel.name);
-    println!("  elapsed          {:.4} s ({} cycles)", elapsed, stats.cycles);
-    println!("  Mflops           {:>7.1}  (paper: ~240, peak {:.0})", report.mflops, machine.peak_mflops());
+    println!(
+        "  elapsed          {:.4} s ({} cycles)",
+        elapsed, stats.cycles
+    );
+    println!(
+        "  Mflops           {:>7.1}  (paper: ~240, peak {:.0})",
+        report.mflops,
+        machine.peak_mflops()
+    );
     println!("  Mips             {:>7.1}", report.mips);
-    println!("  flops/memref     {:>7.2}  (paper: 3.0 for this kernel)", report.flops_per_memref());
+    println!(
+        "  flops/memref     {:>7.2}  (paper: 3.0 for this kernel)",
+        report.flops_per_memref()
+    );
     println!("  FPU0/FPU1        {:>7.2}", report.fpu0_fpu1_ratio());
-    println!("  cache-miss ratio {:>6.2} %", report.cache_miss_ratio() * 100.0);
-    println!("  TLB-miss ratio   {:>6.3} %", report.tlb_miss_ratio() * 100.0);
-    println!("  fma flop share   {:>6.1} %", report.fma_flop_fraction() * 100.0);
+    println!(
+        "  cache-miss ratio {:>6.2} %",
+        report.cache_miss_ratio() * 100.0
+    );
+    println!(
+        "  TLB-miss ratio   {:>6.3} %",
+        report.tlb_miss_ratio() * 100.0
+    );
+    println!(
+        "  fma flop share   {:>6.1} %",
+        report.fma_flop_fraction() * 100.0
+    );
     println!(
         "  Mflops-div       {:>7.1}  (always 0.0: the monitor's divide erratum)",
         report.mflops_div

@@ -1,5 +1,9 @@
 //! `sp2` — command-line front end for the SP2 HPM reproduction.
 //!
+//! Every table and figure is dispatched through the experiment registry
+//! ([`sp2_repro::core::experiments::all_experiments`]); the experiment id
+//! doubles as the subcommand.
+//!
 //! ```text
 //! sp2 table1                       # print Table 1
 //! sp2 table2 --days 60             # Table 2 from a 60-day campaign
@@ -7,14 +11,12 @@
 //! sp2 calibration                  # §5 single-node anchors
 //! sp2 iowait --days 30             # the §7 io-aware extension
 //! sp2 probe matmul                 # run one kernel under the HPM
-//! sp2 campaign --days 270          # everything, with artifacts
+//! sp2 campaign --days 270 -j 0     # everything, in parallel, with artifacts
 //! ```
 
-use sp2_repro::core::experiments::{
-    calibration, fig1, fig2, fig3, fig4, fig5, iowait, table1, table2, table3, table4,
-};
+use sp2_repro::core::experiments::{all_experiments, experiment};
 use sp2_repro::core::{export, Sp2System};
-use sp2_repro::hpm::{io_aware_selection, nas_selection, Hpm, Mode};
+use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
 use sp2_repro::workload::{
@@ -26,25 +28,29 @@ const USAGE: &str = "\
 sp2 — reproduce Bergeron (SC 1998) on the simulated NAS SP2
 
 USAGE:
-    sp2 <COMMAND> [--days N] [--json]
+    sp2 <COMMAND> [--days N] [--threads N] [--json]
 
 COMMANDS:
     table1 | table2 | table3 | table4    regenerate a table
     fig1 | fig2 | fig3 | fig4 | fig5     regenerate a figure's dataset
     calibration                          §5 single-node anchors
     iowait                               §7 io-aware counter extension
+    summary                              headline statistics vs the paper
     probe <matmul|naive|cfd|bt|seq>      run one kernel under the HPM
     campaign                             all of the above + JSON artifacts
+    list                                 list registered experiments
 
 OPTIONS:
-    --days N    campaign length in days (default 60; the paper used 270)
-    --json      print the dataset as JSON instead of the text rendering
+    --days N        campaign length in days (default 60; the paper used 270)
+    --threads N     campaign worker threads; 0 = one per core (default 1)
+    --json          print the dataset as JSON instead of the text rendering
 ";
 
 struct Args {
     command: String,
     arg: Option<String>,
     days: u32,
+    threads: usize,
     json: bool,
 }
 
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         command,
         arg: None,
         days: 60,
+        threads: 1,
         json: false,
     };
     while let Some(a) = argv.next() {
@@ -66,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--days must be at least 1".into());
                 }
             }
+            "--threads" | "-j" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
             "--json" => args.json = true,
             other if args.arg.is_none() && !other.starts_with('-') => {
                 args.arg = Some(other.to_string());
@@ -76,18 +87,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Renders or JSON-prints one experiment.
-fn emit<T: serde::Serialize>(json: bool, data: &T, rendered: String) {
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(data).expect("experiment datasets serialize")
-        );
-    } else {
-        print!("{rendered}");
-    }
-}
-
 fn probe(kernel_name: &str) -> Result<(), String> {
     let machine = MachineConfig::nas_sp2();
     let kernel = match kernel_name {
@@ -96,7 +95,11 @@ fn probe(kernel_name: &str) -> Result<(), String> {
         "cfd" => cfd_kernel("cfd-probe", &CfdKernelParams::default(), 60_000),
         "bt" => cfd_kernel("bt-probe", &CfdKernelParams::npb_bt(), 60_000),
         "seq" => seqaccess_kernel(300_000),
-        other => return Err(format!("unknown kernel: {other} (try matmul|naive|cfd|bt|seq)")),
+        other => {
+            return Err(format!(
+                "unknown kernel: {other} (try matmul|naive|cfd|bt|seq)"
+            ))
+        }
     };
     let mut node = Node::with_seed(machine, 7);
     let mut hpm = Hpm::new(nas_selection());
@@ -109,12 +112,22 @@ fn probe(kernel_name: &str) -> Result<(), String> {
     println!("cycles            {}", stats.cycles);
     println!("instructions      {}", stats.instructions);
     println!("ipc               {:.2}", stats.ipc());
-    println!("Mflops            {:.1}  (peak {:.0})", report.mflops, machine.peak_mflops());
+    println!(
+        "Mflops            {:.1}  (peak {:.0})",
+        report.mflops,
+        machine.peak_mflops()
+    );
     println!("Mips              {:.1}", report.mips);
     println!("flops/memref      {:.2}", report.flops_per_memref());
     println!("FPU0/FPU1         {:.2}", report.fpu0_fpu1_ratio());
-    println!("fma flop share    {:.0} %", report.fma_flop_fraction() * 100.0);
-    println!("cache-miss ratio  {:.2} %", report.cache_miss_ratio() * 100.0);
+    println!(
+        "fma flop share    {:.0} %",
+        report.fma_flop_fraction() * 100.0
+    );
+    println!(
+        "cache-miss ratio  {:.2} %",
+        report.cache_miss_ratio() * 100.0
+    );
     println!("TLB-miss ratio    {:.3} %", report.tlb_miss_ratio() * 100.0);
     Ok(())
 }
@@ -123,20 +136,15 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let cmd = args.command.as_str();
 
-    // Commands that need no campaign.
     match cmd {
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return Ok(());
         }
-        "table1" => {
-            let t = table1::run();
-            emit(args.json, &t, t.render());
-            return Ok(());
-        }
-        "calibration" => {
-            let c = calibration::run(&MachineConfig::nas_sp2());
-            emit(args.json, &c, c.render());
+        "list" => {
+            for e in all_experiments() {
+                println!("{:<12} {}", e.id(), e.title());
+            }
             return Ok(());
         }
         "probe" => {
@@ -146,105 +154,38 @@ fn run() -> Result<(), String> {
         _ => {}
     }
 
-    // The io-aware extension runs its own campaign under the §7 selection.
-    if cmd == "iowait" {
-        let config = sp2_repro::cluster::ClusterConfig {
-            selection: io_aware_selection(),
-            ..Default::default()
-        };
-        let clock = config.machine.clock_hz;
-        let library =
-            sp2_repro::workload::WorkloadLibrary::build(&config.machine, 1998);
-        let mut sys = Sp2System::custom(
-            config,
-            library,
-            sp2_repro::workload::JobMix::nas(),
-            sp2_repro::workload::CampaignSpec {
-                days: args.days,
-                ..Default::default()
-            },
+    let mut sys = Sp2System::builder()
+        .days(args.days)
+        .threads(args.threads)
+        .build();
+
+    if cmd == "campaign" {
+        eprintln!(
+            "running a {}-day campaign on {} thread(s)…",
+            args.days,
+            if args.threads == 0 {
+                "all".to_string()
+            } else {
+                args.threads.to_string()
+            }
         );
-        let r = iowait::run(sys.campaign(), clock);
-        emit(args.json, &r, r.render());
+        for dataset in sys.run_all() {
+            println!("{}", dataset.rendered);
+            let _ = dataset.write_artifact();
+        }
+        eprintln!("artifacts written to {}", export::artifacts_dir().display());
         return Ok(());
     }
 
-    // Campaign-backed experiments.
-    eprintln!("running a {}-day campaign…", args.days);
-    let mut sys = Sp2System::nas_1996(args.days);
-    let machine = sys.config().machine;
-    let campaign = sys.campaign();
-    match cmd {
-        "table2" => {
-            let t = table2::run(campaign);
-            emit(args.json, &t, t.render());
-        }
-        "table3" => {
-            let t = table3::run(campaign);
-            emit(args.json, &t, t.render());
-        }
-        "table4" => {
-            let t = table4::run(campaign, &machine);
-            emit(args.json, &t, t.render());
-        }
-        "fig1" => {
-            let f = fig1::run(campaign);
-            emit(args.json, &f, f.render());
-        }
-        "fig2" => {
-            let f = fig2::run(campaign);
-            emit(args.json, &f, f.render());
-        }
-        "fig3" => {
-            let f = fig3::run(campaign);
-            emit(args.json, &f, f.render());
-        }
-        "fig4" => {
-            let f = fig4::run(campaign);
-            emit(args.json, &f, f.render());
-        }
-        "fig5" => {
-            let f = fig5::run(campaign);
-            emit(args.json, &f, f.render());
-        }
-        "campaign" => {
-            let t1 = table1::run();
-            let t2 = table2::run(campaign);
-            let t3 = table3::run(campaign);
-            let t4 = table4::run(campaign, &machine);
-            let f1 = fig1::run(campaign);
-            let f2 = fig2::run(campaign);
-            let f3 = fig3::run(campaign);
-            let f4 = fig4::run(campaign);
-            let f5 = fig5::run(campaign);
-            let cal = calibration::run(&machine);
-            for rendered in [
-                t1.render(),
-                t2.render(),
-                t3.render(),
-                t4.render(),
-                f1.render(),
-                f2.render(),
-                f3.render(),
-                f4.render(),
-                f5.render(),
-                cal.render(),
-            ] {
-                println!("{rendered}");
-            }
-            let _ = export::write_json("table1", &t1);
-            let _ = export::write_json("table2", &t2);
-            let _ = export::write_json("table3", &t3);
-            let _ = export::write_json("table4", &t4);
-            let _ = export::write_json("fig1", &f1);
-            let _ = export::write_json("fig2", &f2);
-            let _ = export::write_json("fig3", &f3);
-            let _ = export::write_json("fig4", &f4);
-            let _ = export::write_json("fig5", &f5);
-            let _ = export::write_json("calibration", &cal);
-            eprintln!("artifacts written to {}", export::artifacts_dir().display());
-        }
-        other => return Err(format!("unknown command: {other}\n{USAGE}")),
+    let exp = experiment(cmd).ok_or_else(|| format!("unknown command: {cmd}\n{USAGE}"))?;
+    if exp.needs_campaign() {
+        eprintln!("running a {}-day campaign…", args.days);
+    }
+    let dataset = sys.dataset(exp);
+    if args.json {
+        println!("{}", dataset.json.to_string_pretty());
+    } else {
+        print!("{}", dataset.rendered);
     }
     Ok(())
 }

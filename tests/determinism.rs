@@ -49,7 +49,80 @@ fn different_seeds_different_campaigns() {
     let a = run(1);
     let b = run(2);
     // The traces differ, so the datasets must differ somewhere.
-    let a_total: u64 = a.samples.iter().map(|s| s.total.user.iter().sum::<u64>()).sum();
-    let b_total: u64 = b.samples.iter().map(|s| s.total.user.iter().sum::<u64>()).sum();
+    let a_total: u64 = a
+        .samples
+        .iter()
+        .map(|s| s.total.user.iter().sum::<u64>())
+        .sum();
+    let b_total: u64 = b
+        .samples
+        .iter()
+        .map(|s| s.total.user.iter().sum::<u64>())
+        .sum();
     assert_ne!(a_total, b_total);
+}
+
+/// Field-by-field identity of two campaign results.
+fn assert_campaigns_identical(
+    a: &sp2_repro::cluster::CampaignResult,
+    b: &sp2_repro::cluster::CampaignResult,
+) {
+    assert_eq!(a.days, b.days);
+    assert_eq!(a.node_count, b.node_count);
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.t, y.t);
+        assert_eq!(x.nodes_sampled, y.nodes_sampled);
+        assert_eq!(x.total, y.total);
+        assert_eq!(x.rates.mflops.to_bits(), y.rates.mflops.to_bits());
+    }
+    assert_eq!(a.job_reports.len(), b.job_reports.len());
+    for (x, y) in a.job_reports.iter().zip(&b.job_reports) {
+        assert_eq!(x.job_id, y.job_id);
+        assert_eq!(x.total, y.total);
+        assert_eq!(x.rates.mflops.to_bits(), y.rates.mflops.to_bits());
+    }
+    assert_eq!(a.pbs_records, b.pbs_records);
+}
+
+#[test]
+fn parallel_campaigns_bit_identical_at_any_thread_count() {
+    use sp2_repro::cluster::run_campaign_with_threads;
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 123);
+    let spec = CampaignSpec {
+        days: 2,
+        seed: 45,
+        ..Default::default()
+    };
+    let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+    let serial = run_campaign(&config, &library, &jobs, spec.days);
+    for threads in [1, 2, 8] {
+        let parallel = run_campaign_with_threads(&config, &library, &jobs, spec.days, threads);
+        assert_campaigns_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn replications_match_individually_run_campaigns() {
+    use sp2_repro::cluster::run_replications;
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 123);
+    let mix = JobMix::nas();
+    let base = CampaignSpec {
+        days: 1,
+        seed: 90,
+        ..Default::default()
+    };
+    let reps = run_replications(&config, &library, &mix, &base, 3);
+    assert_eq!(reps.len(), 3);
+    for (i, rep) in reps.iter().enumerate() {
+        let spec = CampaignSpec {
+            seed: base.seed + i as u64,
+            ..base
+        };
+        let jobs = trace::generate(&spec, &mix, &library);
+        let solo = run_campaign(&config, &library, &jobs, spec.days);
+        assert_campaigns_identical(rep, &solo);
+    }
 }

@@ -1,8 +1,10 @@
 //! End-to-end integration: a full (short) measurement campaign through
 //! every substrate, checked against the paper's qualitative findings.
+//! All experiment datasets are obtained through the registry, exactly as
+//! external tooling would consume them (the exported JSON documents).
 
-use sp2_repro::core::experiments::{fig1, fig2, fig3, fig4, fig5, table2, table3, table4};
-use sp2_repro::core::Sp2System;
+use sp2_repro::core::experiments::experiment;
+use sp2_repro::core::{Json, Sp2System};
 use std::sync::{Mutex, OnceLock};
 
 /// One shared 30-day campaign for the whole binary (library measurement
@@ -16,13 +18,44 @@ fn system() -> &'static Mutex<Sp2System> {
     })
 }
 
+/// Runs a registered experiment against the shared campaign and returns
+/// its JSON document.
+fn doc(id: &str) -> Json {
+    let mut sys = system().lock().unwrap();
+    let e = experiment(id).expect("registered experiment");
+    e.to_json(sys.campaign())
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{key} missing or non-numeric"))
+}
+
+/// Finds `field` of the row whose `name` matches, in a `rows`-style array.
+fn row_field(doc: &Json, arr: &str, name: &str, field: &str) -> f64 {
+    doc.get(arr)
+        .and_then(Json::as_arr)
+        .and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        })
+        .and_then(|r| r.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{arr}[name={name}].{field} missing"))
+}
+
 #[test]
 fn campaign_has_complete_datasets() {
     let mut sys = system().lock().unwrap();
     let c = sys.campaign();
     assert_eq!(c.days, 30);
     assert_eq!(c.node_count, 144);
-    assert_eq!(c.samples.len(), 30 * 96 + 1, "15-minute cadence plus baseline");
+    assert_eq!(
+        c.samples.len(),
+        30 * 96 + 1,
+        "15-minute cadence plus baseline"
+    );
     assert!(c.job_reports.len() > 300, "a month of jobs completed");
     assert!(c.pbs_records.len() >= c.job_reports.len());
 }
@@ -45,84 +78,98 @@ fn headline_band_the_machine_runs_at_a_few_percent_of_peak() {
 
 #[test]
 fn moderate_parallelism_dominates() {
-    let mut sys = system().lock().unwrap();
-    let f2 = fig2::run(sys.campaign());
-    assert_eq!(f2.mode_nodes, Some(16));
-    assert!(f2.fraction_above_64 < 0.08);
+    let f2 = doc("fig2");
+    assert_eq!(num(&f2, "mode_nodes"), 16.0);
+    assert!(num(&f2, "fraction_above_64") < 0.08);
 }
 
 #[test]
 fn per_node_rate_collapses_beyond_64_nodes() {
-    let mut sys = system().lock().unwrap();
-    let f3 = fig3::run(sys.campaign());
-    if f3.large_mean > 0.0 {
-        assert!(f3.small_mean > 1.5 * f3.large_mean);
+    let f3 = doc("fig3");
+    let large = num(&f3, "large_mean");
+    if large > 0.0 {
+        assert!(num(&f3, "small_mean") > 1.5 * large);
     }
 }
 
 #[test]
 fn sixteen_node_history_shows_no_improvement_trend() {
-    let mut sys = system().lock().unwrap();
-    let f4 = fig4::run(sys.campaign());
-    assert!(f4.points.len() > 100);
-    let drift = f4.trend_mflops_per_job.abs() * f4.points.len() as f64;
-    assert!(drift < 2.0 * f4.std, "drift {drift:.0} vs std {:.0}", f4.std);
+    let f4 = doc("fig4");
+    let jobs = f4.get("points").and_then(Json::as_arr).unwrap().len();
+    assert!(jobs > 100);
+    let drift = num(&f4, "trend_mflops_per_job").abs() * jobs as f64;
+    let std = num(&f4, "std");
+    assert!(drift < 2.0 * std, "drift {drift:.0} vs std {std:.0}");
 }
 
 #[test]
 fn paging_explains_poor_performance() {
-    let mut sys = system().lock().unwrap();
-    let f5 = fig5::run(sys.campaign());
-    assert!(f5.correlation < -0.3, "Figure 5 trend: {:.2}", f5.correlation);
-    assert!(f5.paging_suspected > 0, "some jobs must page");
+    let f5 = doc("fig5");
+    let correlation = num(&f5, "correlation");
+    assert!(correlation < -0.3, "Figure 5 trend: {correlation:.2}");
+    assert!(num(&f5, "paging_suspected") > 0.0, "some jobs must page");
 }
 
 #[test]
 fn tables_2_and_3_are_mutually_consistent() {
-    let mut sys = system().lock().unwrap();
-    let c = sys.campaign();
-    let t2 = table2::run(c);
-    let t3 = table3::run(c);
-    if t2.good_days == 0 {
+    let t2 = doc("table2");
+    let t3 = doc("table3");
+    if num(&t2, "good_days") == 0.0 {
         return;
     }
     // Table 2's Mflops row equals Table 3's Mflops-All row.
-    let t2_mflops = t2.rows.iter().find(|r| r.name == "Mflops").unwrap().avg;
-    let t3_all = t3.rows.iter().find(|r| r.name == "Mflops-All").unwrap().avg;
+    let t2_mflops = row_field(&t2, "rows", "Mflops", "avg");
+    let t3_all = row_field(&t3, "rows", "Mflops-All", "avg");
     assert!((t2_mflops - t3_all).abs() < 1e-9);
     // Derived ratios in the paper's bands (shape, not absolutes).
-    assert!((0.4..0.75).contains(&t3.fma_flop_fraction), "fma share {}", t3.fma_flop_fraction);
-    assert!((1.2..2.8).contains(&t3.fpu0_fpu1_ratio), "fpu ratio {}", t3.fpu0_fpu1_ratio);
-    assert!((0.004..0.02).contains(&t3.cache_miss_ratio), "cmr {}", t3.cache_miss_ratio);
-    assert!((0.0003..0.002).contains(&t3.tlb_miss_ratio), "tlb {}", t3.tlb_miss_ratio);
+    let fma = num(&t3, "fma_flop_fraction");
+    let fpu = num(&t3, "fpu0_fpu1_ratio");
+    let cmr = num(&t3, "cache_miss_ratio");
+    let tlb = num(&t3, "tlb_miss_ratio");
+    let delay = num(&t3, "delay_per_memref");
+    assert!((0.4..0.75).contains(&fma), "fma share {fma}");
+    assert!((1.2..2.8).contains(&fpu), "fpu ratio {fpu}");
+    assert!((0.004..0.02).contains(&cmr), "cmr {cmr}");
+    assert!((0.0003..0.002).contains(&tlb), "tlb {tlb}");
     assert!(
-        (0.05..0.2).contains(&t3.delay_per_memref),
-        "delay/memref {} (paper ≈0.12 cycles)",
-        t3.delay_per_memref
+        (0.05..0.2).contains(&delay),
+        "delay/memref {delay} (paper ≈0.12 cycles)"
     );
 }
 
 #[test]
 fn table4_orders_workloads_correctly() {
-    let mut sys = system().lock().unwrap();
-    let machine = sys.config().machine;
-    let t4 = table4::run(sys.campaign(), &machine);
-    let wl = &t4.columns[0];
-    let seq = &t4.columns[1];
-    let bt = &t4.columns[2];
+    let t4 = doc("table4");
+    let col = |name: &str, field: &str| row_field(&t4, "columns", name, field);
     // Sequential streaming misses most; the tuned BT beats the workload.
-    assert!(seq.cache_miss_ratio > wl.cache_miss_ratio);
-    assert!(bt.mflops_per_cpu.unwrap() > wl.mflops_per_cpu.unwrap());
-    assert!(bt.tlb_miss_ratio < seq.tlb_miss_ratio);
+    assert!(col("Sequential Access", "cache_miss_ratio") > col("NAS Workload", "cache_miss_ratio"));
+    assert!(col("NPB BT on 49 CPUs", "mflops_per_cpu") > col("NAS Workload", "mflops_per_cpu"));
+    assert!(
+        col("NPB BT on 49 CPUs", "tlb_miss_ratio") < col("Sequential Access", "tlb_miss_ratio")
+    );
 }
 
 #[test]
 fn figure1_peaks_order_correctly() {
-    let mut sys = system().lock().unwrap();
-    let f1 = fig1::run(sys.campaign());
-    assert!(f1.max_15min_gflops >= f1.max_daily_gflops);
-    assert!(f1.max_daily_gflops >= f1.mean_gflops);
-    assert!(f1.max_daily_utilization <= 1.0);
+    let f1 = doc("fig1");
+    assert!(num(&f1, "max_15min_gflops") >= num(&f1, "max_daily_gflops"));
+    assert!(num(&f1, "max_daily_gflops") >= num(&f1, "mean_gflops"));
+    assert!(num(&f1, "max_daily_utilization") <= 1.0);
     // The machine is never beyond its physical peak.
-    assert!(f1.max_15min_gflops < 144.0 * sys.config().machine.peak_mflops() / 1000.0);
+    let sys = system().lock().unwrap();
+    let peak = 144.0 * sys.config().machine.peak_mflops() / 1000.0;
+    assert!(num(&f1, "max_15min_gflops") < peak);
+}
+
+#[test]
+fn summary_experiment_reports_every_headline_stat() {
+    let s = doc("summary");
+    assert_eq!(num(&s, "days"), 30.0);
+    assert_eq!(num(&s, "node_count"), 144.0);
+    let rows = s.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 6);
+    for r in rows {
+        let measured = r.get("measured").and_then(Json::as_f64).unwrap();
+        assert!(measured.is_finite());
+    }
 }

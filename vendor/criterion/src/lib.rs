@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the subset of the criterion API the bench targets use
+//! (`bench_function`, `benchmark_group` with `sample_size`/`throughput`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros) with honest wall-clock measurement: each
+//! benchmark is warmed up once, then timed over batches until either the
+//! sample budget or a time cap is reached, and the per-iteration mean,
+//! min, and max are printed. There is no statistical analysis, HTML
+//! report, or baseline comparison — numbers go to stdout only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample throughput annotation; reported as elements (or bytes) /s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    time_cap: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            time_cap: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    settings: Settings,
+    /// (mean, min, max) seconds per iteration, filled in by `iter`.
+    result: Option<(f64, f64, f64)>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(settings: Settings) -> Self {
+        Self {
+            settings,
+            result: None,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body()); // warm-up; also primes lazy one-time state
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let budget_start = Instant::now();
+        let mut iters = 0u64;
+        while samples.len() < self.settings.sample_size
+            && (samples.is_empty() || budget_start.elapsed() < self.settings.time_cap)
+        {
+            let t = Instant::now();
+            black_box(body());
+            samples.push(t.elapsed().as_secs_f64());
+            iters += 1;
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some((mean, min, max));
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        let Some((mean, min, max)) = self.result else {
+            println!("{name}: no measurement (Bencher::iter never called)");
+            return;
+        };
+        let tp = match self.settings.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name}: mean {} (min {}, max {}, n={}){tp}",
+            fmt_secs(mean),
+            fmt_secs(min),
+            fmt_secs(max),
+            self.iters,
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A named group sharing `sample_size`/`throughput` settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 1, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).throughput(Throughput::Elements(100));
+        g.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

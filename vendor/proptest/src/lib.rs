@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the subset of proptest the workspace's property tests
+//! use: the `proptest!` macro (with an optional `#![proptest_config]`
+//! header), `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `Strategy`
+//! over numeric ranges / tuples / `prop::collection::vec` /
+//! `prop::sample::select`, and `ProptestConfig::with_cases`.
+//!
+//! Semantics versus the real crate:
+//! - inputs are random but **deterministic**: the RNG is seeded from the
+//!   test function's name, so a failure reproduces on every run (there is
+//!   no persistence file);
+//! - there is **no shrinking** — a failing case panics with the values
+//!   baked into the assertion message instead of a minimized example;
+//! - `prop_assume!` skips the current case rather than resampling, so a
+//!   config of N cases runs at most N bodies.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Produces one random value per test case.
+    ///
+    /// `sample` replaces the real crate's value-tree machinery: no
+    /// shrinking, just generation.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// `Strategy` is object-safe-free here, but `&S` must also be a
+    /// strategy so helpers can take strategies by reference.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as u128).wrapping_add(draw) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    let draw = rng.next_u64() % span;
+                    (self.start as $u).wrapping_add(draw as $u) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::sample::select(values)`.
+    pub struct SelectStrategy<T> {
+        pub(crate) values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for SelectStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.values.is_empty(), "select over empty set");
+            self.values[(rng.next_u64() % self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Mirrors the real crate's `proptest::prop::{collection, sample}` paths
+/// (reached as `prop::...` via the prelude).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::VecStrategy;
+        use std::ops::Range;
+
+        pub fn vec<S: crate::strategy::Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    pub mod sample {
+        use crate::strategy::SelectStrategy;
+
+        pub fn select<T: Clone>(values: Vec<T>) -> SelectStrategy<T> {
+            SelectStrategy { values }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps simulator-heavy property
+            // tests fast while still exploring a meaningful input space.
+            Self { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 over an FNV-1a hash of the test name: deterministic
+    /// per test, independent across tests.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let flow: ::std::ops::ControlFlow<()> = (|| {
+                    $body
+                    ::std::ops::ControlFlow::Continue(())
+                })();
+                // Break means a prop_assume! rejected this case; move on.
+                let _ = flow;
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Strategies honour their bounds and tuples compose.
+        #[test]
+        fn bounds_hold(x in 5u32..10, pair in (0u8..4, -3i32..3),
+                       v in prop::collection::vec(0u64..100, 1..8)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-3..3).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn select_draws_from_set() {
+        let s = prop::sample::select(vec!['a', 'b', 'c']);
+        let mut rng = crate::test_runner::TestRng::deterministic("select");
+        for _ in 0..50 {
+            let c = Strategy::sample(&s, &mut rng);
+            assert!(['a', 'b', 'c'].contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        assert_eq!(
+            (0..10).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..10).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice/`Vec` parallel-iterator surface the workspace
+//! uses on top of `std::thread::scope`: inputs are split into at most
+//! `current_num_threads()` contiguous chunks, each chunk is mapped on its
+//! own OS thread, and results are concatenated in input order — so
+//! `par_iter().map(f).collect()` is position-for-position identical to
+//! the serial `iter().map(f).collect()` whenever `f` is a pure function
+//! of its element.
+//!
+//! Differences from real rayon, by design:
+//! - iterators are *eager*: `map` runs immediately and materializes a
+//!   `Vec` (every call site here either `collect`s or `for_each`es);
+//! - no work stealing: chunks are static, so one slow element can idle
+//!   other threads;
+//! - nested parallelism is serialized: worker threads run with an
+//!   effective thread count of 1 rather than oversubscribing.
+//!
+//! `ThreadPool::install` scopes the thread count through a thread-local,
+//! which is how the campaign engine pins `threads = 1` vs. `threads = N`
+//! for its determinism tests.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread count parallel operations on this thread will use:
+/// innermost `ThreadPool::install` override, else the global pool size,
+/// else `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use the machine's parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.num_threads;
+        GLOBAL_THREADS.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A "pool" is just a target thread count; threads are scoped per call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count in effect for any parallel
+    /// iterators it invokes (restored afterwards, even on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LOCAL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(LOCAL_THREADS.with(|c| c.replace(self.num_threads)));
+        op()
+    }
+}
+
+pub mod iter {
+    use super::{current_num_threads, LOCAL_THREADS};
+
+    /// Eager parallel iterator: the one required method materializes the
+    /// mapped results in input order.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync;
+
+        fn map<R, F>(self, f: F) -> Mapped<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Mapped(self.run_map(f))
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            self.run_map(f);
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: From<Vec<Self::Item>>,
+        {
+            C::from(self.run_map(|item| item))
+        }
+    }
+
+    /// Already-materialized results of a parallel `map`.
+    pub struct Mapped<T: Send>(pub(crate) Vec<T>);
+
+    impl<T: Send> ParallelIterator for Mapped<T> {
+        type Item = T;
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            vec_map(self.0, &f)
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: From<Vec<T>>,
+        {
+            C::from(self.0)
+        }
+    }
+
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter(self)
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = SliceParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceParIterMut<'a, T> {
+            SliceParIterMut(self)
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = SliceParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceParIterMut<'a, T> {
+            SliceParIterMut(self)
+        }
+    }
+
+    pub struct VecParIter<T: Send>(Vec<T>);
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            vec_map(self.0, &f)
+        }
+    }
+
+    pub struct SliceParIter<'a, T: Sync>(&'a [T]);
+
+    impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+        type Item = &'a T;
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            let items = self.0;
+            let threads = current_num_threads().max(1);
+            if threads <= 1 || items.len() <= 1 {
+                return items.iter().map(f).collect();
+            }
+            let chunk = items.len().div_ceil(threads);
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || on_worker(|| c.iter().map(f).collect::<Vec<R>>())))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rayon stub worker panicked"))
+                    .collect()
+            })
+        }
+    }
+
+    pub struct SliceParIterMut<'a, T: Send>(&'a mut [T]);
+
+    impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+        type Item = &'a mut T;
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(&'a mut T) -> R + Sync,
+        {
+            let mut rest = self.0;
+            let threads = current_num_threads().max(1);
+            if threads <= 1 || rest.len() <= 1 {
+                return rest.iter_mut().map(f).collect();
+            }
+            let chunk = rest.len().div_ceil(threads);
+            let mut chunks: Vec<&'a mut [T]> = Vec::with_capacity(threads);
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                chunks.push(head);
+                rest = tail;
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| s.spawn(move || on_worker(|| c.iter_mut().map(f).collect::<Vec<R>>())))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("rayon stub worker panicked"))
+                    .collect()
+            })
+        }
+    }
+
+    /// Order-preserving chunked parallel map over owned items.
+    fn vec_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let threads = current_num_threads().max(1);
+        if threads <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || on_worker(|| c.into_iter().map(f).collect::<Vec<R>>())))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs a worker-thread body with nested parallelism disabled, so a
+    /// parallel region inside `f` degrades to serial instead of spawning
+    /// threads² deep.
+    fn on_worker<R>(body: impl FnOnce() -> R) -> R {
+        LOCAL_THREADS.with(|c| c.set(1));
+        body()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 257];
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| v.par_iter_mut().for_each(|x| *x += 1));
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| format!("{x}"))
+            .collect();
+        assert_eq!(out, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so the code stays source-compatible
+//! with the real serde once a registry is reachable, but no code path
+//! performs format serialization through serde: JSON artifacts are emitted
+//! by `sp2_core::json`, and the RS2HPM archive format is hand-written
+//! (`sp2_rs2hpm::textfmt`). This stub therefore reduces the two traits to
+//! blanket-implemented markers and re-exports no-op derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait: every type is trivially "serializable".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait: every type is trivially "deserializable".
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
