@@ -15,8 +15,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rayon::prelude::*;
-use sp2_cluster::{run_campaign, ClusterConfig, PagingModel};
-use sp2_core::experiments::experiment;
+use sp2_cluster::{run_campaign, ClusterConfig, FaultPlan, PagingModel};
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_core::Json;
 use sp2_hpm::{nas_selection, EventSet, Hpm, Mode, Signal};
 use sp2_power2::{FpuDispatch, MachineConfig, Node, WritePolicy};
@@ -135,13 +135,20 @@ fn print_cluster_ablations() {
     let configs = [ClusterConfig::default(), no_paging, no_drain];
     let results: Vec<_> = configs
         .par_iter()
-        .map(|cfg| run_campaign(cfg, &library, &jobs, spec.days))
+        .map(|cfg| {
+            run_campaign(cfg, &library, &jobs, spec.days, &FaultPlan::none())
+                .expect("campaign runs")
+        })
         .collect();
 
     let stat = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
     let fig5 = experiment("fig5").expect("registered");
-    let f5_base = fig5.to_json(&results[0]);
-    let f5_off = fig5.to_json(&results[1]);
+    let f5_base = fig5
+        .to_json(ExperimentInput::of(&results[0]))
+        .expect("runs");
+    let f5_off = fig5
+        .to_json(ExperimentInput::of(&results[1]))
+        .expect("runs");
     println!(
         "[ablation 6] Figure-5 correlation: paging on {:.2} (jobs sys>user: {:.0}) vs off {:.2} ({:.0}) — the collapse needs the paging model",
         stat(&f5_base, "correlation"),
@@ -151,8 +158,12 @@ fn print_cluster_ablations() {
     );
 
     let fig2 = experiment("fig2").expect("registered");
-    let f2_base = fig2.to_json(&results[0]);
-    let f2_nodrain = fig2.to_json(&results[2]);
+    let f2_base = fig2
+        .to_json(ExperimentInput::of(&results[0]))
+        .expect("runs");
+    let f2_nodrain = fig2
+        .to_json(ExperimentInput::of(&results[2]))
+        .expect("runs");
     println!(
         "[ablation 7] walltime fraction above 64 nodes: drain@64 {:.3} vs no drain {:.3}",
         stat(&f2_base, "fraction_above_64"),

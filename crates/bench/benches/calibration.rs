@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sp2_cluster::CampaignResult;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_hpm::nas_selection;
 use sp2_power2::{MachineConfig, Node};
 use sp2_workload::{blocked_matmul_kernel, cfd_kernel, CfdKernelParams};
@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     let e = experiment("calibration").expect("registered");
     // Calibration measures reference kernels directly — no campaign.
     let empty = CampaignResult::empty(machine, nas_selection());
-    println!("{}", e.render(&empty));
+    println!(
+        "{}",
+        e.render(ExperimentInput::of(&empty)).expect("renders")
+    );
 
     let mm = blocked_matmul_kernel(10_000);
     let cfd = cfd_kernel("bench-cfd", &CfdKernelParams::default(), 10_000);

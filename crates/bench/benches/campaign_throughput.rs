@@ -10,7 +10,7 @@
 //! parallel campaigns are bit-identical.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sp2_cluster::{run_campaign_with_threads, run_replications, ClusterConfig};
+use sp2_cluster::{run_campaign_with_threads, run_replications, ClusterConfig, FaultPlan};
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 
 fn bench(c: &mut Criterion) {
@@ -30,14 +30,14 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(u64::from(days)));
     g.bench_function("serial_1_thread", |b| {
-        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1))
+        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none()))
     });
     g.bench_function("all_cores", |b| {
-        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 0))
+        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 0, &FaultPlan::none()))
     });
     g.throughput(Throughput::Elements(4 * u64::from(days)));
     g.bench_function("replications_x4", |b| {
-        b.iter(|| run_replications(&config, &library, &mix, &spec, 4))
+        b.iter(|| run_replications(&config, &library, &mix, &spec, 4, &FaultPlan::none()))
     });
     g.finish();
 }

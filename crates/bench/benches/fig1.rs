@@ -4,16 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_cluster::{run_campaign, ClusterConfig};
-use sp2_core::experiments::experiment;
+use sp2_cluster::{run_campaign, ClusterConfig, FaultPlan};
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_core::Json;
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
-    let campaign = sys.campaign();
+    let campaign = sys.campaign().expect("campaign runs");
     let e = experiment("fig1").expect("registered");
-    let d = e.run(campaign);
+    let d = e.run(ExperimentInput::of(campaign)).expect("runs");
     let stat = |key: &str| d.json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
     println!(
         "Figure 1: mean {:.2} Gflops, util {:.0}%, max day {:.2}, max 15-min {:.2}",
@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
         stat("max_daily_gflops"),
         stat("max_15min_gflops")
     );
-    c.bench_function("fig1/analysis", |b| b.iter(|| e.run(campaign)));
+    c.bench_function("fig1/analysis", |b| {
+        b.iter(|| e.run(ExperimentInput::of(campaign)))
+    });
 
     // End-to-end: a 3-day campaign through PBS + daemon + paging.
     let config = ClusterConfig::default();
@@ -35,7 +37,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
     g.bench_function("campaign_3day", |b| {
-        b.iter(|| run_campaign(&config, &library, &jobs, spec.days))
+        b.iter(|| run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none()))
     });
     g.finish();
 }

@@ -3,14 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_core::Json;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
-    let campaign = sys.campaign();
+    let campaign = sys.campaign().expect("campaign runs");
     let e = experiment("fig4").expect("registered");
-    let d = e.run(campaign);
+    let d = e.run(ExperimentInput::of(campaign)).expect("runs");
     let stat = |key: &str| d.json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
     let jobs = d
         .json
@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
         stat("std"),
         stat("trend_mflops_per_job")
     );
-    c.bench_function("fig4/analysis", |b| b.iter(|| e.run(campaign)));
+    c.bench_function("fig4/analysis", |b| {
+        b.iter(|| e.run(ExperimentInput::of(campaign)))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -6,15 +6,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_days;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_core::Sp2System;
 
 fn bench(c: &mut Criterion) {
     let mut sys = Sp2System::builder().days(bench_days()).build();
     let e = experiment("iowait").expect("registered");
-    let campaign = sys.campaign_for(e.selection());
-    println!("{}", e.render(campaign));
-    c.bench_function("iowait/analysis", |b| b.iter(|| e.run(campaign)));
+    let campaign = sys.campaign_for(e.selection()).expect("campaign runs");
+    println!(
+        "{}",
+        e.render(ExperimentInput::of(campaign)).expect("renders")
+    );
+    c.bench_function("iowait/analysis", |b| {
+        b.iter(|| e.run(ExperimentInput::of(campaign)))
+    });
 }
 
 criterion_group!(benches, bench);

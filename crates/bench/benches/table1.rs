@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_cluster::CampaignResult;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_hpm::nas_selection;
 use sp2_power2::MachineConfig;
 
@@ -11,8 +11,13 @@ fn bench(c: &mut Criterion) {
     let e = experiment("table1").expect("registered");
     // Table 1 is campaign-independent.
     let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
-    println!("{}", e.render(&empty));
-    c.bench_function("table1/regenerate", |b| b.iter(|| e.run(&empty)));
+    println!(
+        "{}",
+        e.render(ExperimentInput::of(&empty)).expect("renders")
+    );
+    c.bench_function("table1/regenerate", |b| {
+        b.iter(|| e.run(ExperimentInput::of(&empty)))
+    });
     c.bench_function("table1/selection_build", |b| b.iter(sp2_hpm::nas_selection));
 }
 

@@ -4,14 +4,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
-    let campaign = sys.campaign();
+    let campaign = sys.campaign().expect("campaign runs");
     let e = experiment("table3").expect("registered");
-    println!("{}", e.render(campaign));
-    c.bench_function("table3/analysis", |b| b.iter(|| e.run(campaign)));
+    println!(
+        "{}",
+        e.render(ExperimentInput::of(campaign)).expect("renders")
+    );
+    c.bench_function("table3/analysis", |b| {
+        b.iter(|| e.run(ExperimentInput::of(campaign)))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -5,19 +5,22 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp2_bench::bench_system;
-use sp2_core::experiments::experiment;
+use sp2_core::experiments::{experiment, ExperimentInput};
 use sp2_power2::measure_on_fresh_node;
 use sp2_workload::seqaccess_kernel;
 
 fn bench(c: &mut Criterion) {
     let mut sys = bench_system();
     let machine = sys.config().machine;
-    let campaign = sys.campaign();
+    let campaign = sys.campaign().expect("campaign runs");
     let e = experiment("table4").expect("registered");
-    println!("{}", e.render(campaign));
+    println!(
+        "{}",
+        e.render(ExperimentInput::of(campaign)).expect("renders")
+    );
     let mut g = c.benchmark_group("table4");
     g.sample_size(10);
-    g.bench_function("full", |b| b.iter(|| e.run(campaign)));
+    g.bench_function("full", |b| b.iter(|| e.run(ExperimentInput::of(campaign))));
     g.bench_function("seqaccess_measurement", |b| {
         b.iter(|| measure_on_fresh_node(&seqaccess_kernel(50_000), &machine, 1))
     });

@@ -7,6 +7,10 @@
 //! short enough for a quick `cargo bench`); set 270 for the paper's full
 //! period.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 use sp2_core::Sp2System;
 
 /// Campaign length used by the benches.

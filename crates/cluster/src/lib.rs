@@ -16,17 +16,24 @@
 //! - per-job [`sp2_rs2hpm::JobCounterReport`]s → Figures 3, 4, 5;
 //! - PBS accounting records → Figure 2 and the utilization series.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod activity;
+pub mod faults;
 pub mod paging;
 pub mod result;
 pub mod sim;
 pub mod state;
 
 pub use activity::ActivityPlan;
+pub use faults::{FaultPlan, Outage};
 pub use paging::PagingModel;
-pub use result::CampaignResult;
+pub use result::{CampaignResult, FaultSummary};
 pub use sim::{
-    run_campaign, run_campaign_with_threads, run_replications, ClusterConfig, ClusterConfigBuilder,
-    ClusterConfigError,
+    run_campaign, run_campaign_with_threads, run_replications, CampaignError, ClusterConfig,
+    ClusterConfigBuilder, ClusterConfigError,
 };
 pub use state::NodeState;

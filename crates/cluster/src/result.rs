@@ -5,10 +5,32 @@ use sp2_hpm::CounterSelection;
 use sp2_pbs::{utilization, JobRecord};
 use sp2_power2::MachineConfig;
 use sp2_rs2hpm::{JobCounterReport, RateReport, SystemSample};
-use sp2_stats::TimeSeries;
+use sp2_stats::{Coverage, TimeSeries};
 
 /// Seconds per day.
 const DAY_S: f64 = 86_400.0;
+
+/// What the fault layer actually did to a campaign. All zeros (and
+/// `enabled == false`) for a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Whether any fault injection was configured.
+    pub enabled: bool,
+    /// Node outage windows that started inside the horizon.
+    pub outages: usize,
+    /// Total node downtime inside the horizon, seconds.
+    pub node_downtime_s: f64,
+    /// Daemon sweeps that never ran.
+    pub missed_sweeps: usize,
+    /// Daemon restarts (each loses every baseline snapshot).
+    pub daemon_restarts: usize,
+    /// Glitched (32-bit truncated) node reads actually delivered.
+    pub glitches: usize,
+    /// Jobs killed by node failures.
+    pub jobs_killed: usize,
+    /// Killed jobs PBS requeued for another attempt.
+    pub jobs_requeued: usize,
+}
 
 /// Everything a campaign produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,6 +52,8 @@ pub struct CampaignResult {
     pub job_reports: Vec<JobCounterReport>,
     /// PBS accounting records (including horizon-truncated jobs).
     pub pbs_records: Vec<JobRecord>,
+    /// What the fault layer did during the run.
+    pub faults: FaultSummary,
 }
 
 impl CampaignResult {
@@ -45,7 +69,52 @@ impl CampaignResult {
             samples: Vec::new(),
             job_reports: Vec::new(),
             pbs_records: Vec::new(),
+            faults: FaultSummary::default(),
         }
+    }
+
+    /// Sample-coverage ledger over the whole campaign, in node-samples.
+    /// The `t = 0` baseline pass is excluded (it never contributes deltas
+    /// even on a perfect machine), so a fault-free campaign's fraction is
+    /// exactly `1.0`.
+    pub fn coverage(&self) -> Coverage {
+        let mut c = Coverage::new();
+        for s in self.samples.iter().filter(|s| s.t > 0.0) {
+            c.push(s.nodes_sampled as f64, s.nodes_total as f64);
+        }
+        c
+    }
+
+    /// Sample-coverage ledger for day `d` (samples in `(d, d+1]` days).
+    pub fn day_coverage(&self, d: usize) -> Coverage {
+        let lo = d as f64 * DAY_S;
+        let hi = lo + DAY_S;
+        let mut c = Coverage::new();
+        for s in &self.samples {
+            if s.t > lo && s.t <= hi {
+                c.push(s.nodes_sampled as f64, s.nodes_total as f64);
+            }
+        }
+        c
+    }
+
+    /// Samples the daemon should have collected over the horizon (one
+    /// baseline pass plus 96 sweeps per day).
+    pub fn expected_samples(&self) -> usize {
+        self.days as usize * 96 + 1
+    }
+
+    /// Total per-node deltas the daemon discarded as counter glitches.
+    pub fn total_anomalies(&self) -> usize {
+        self.samples.iter().map(|s| s.anomalies).sum()
+    }
+
+    /// Days whose sample coverage is incomplete (gaps from outages,
+    /// restarts, or anomalies).
+    pub fn partial_days(&self) -> Vec<usize> {
+        (0..self.days as usize)
+            .filter(|&d| !self.day_coverage(d).is_complete())
+            .collect()
     }
 
     /// Machine Gflops as a time series over the daemon samples.
@@ -113,6 +182,13 @@ impl CampaignResult {
     /// summed, divided by node-seconds — exactly how Tables 2–3 express
     /// "single node values" ("system rates may be obtained by multiplying
     /// by 144").
+    ///
+    /// The divisor is **coverage-weighted**: a day where only part of the
+    /// machine was sampled divides by the node-seconds actually observed,
+    /// so per-node rates stay comparable across gap-free and degraded
+    /// days. At full coverage the weight is exactly `1.0` and the result
+    /// is bit-identical to the unweighted computation; a fully dark day
+    /// reports zero rates over the nominal window.
     pub fn daily_node_rates(&self) -> Vec<RateReport> {
         let selection = &self.selection;
         let n_slots = selection.len();
@@ -121,14 +197,23 @@ impl CampaignResult {
             let lo = d as f64 * DAY_S;
             let hi = lo + DAY_S;
             let mut total = sp2_hpm::CounterDelta::zero(n_slots);
+            let mut cov = Coverage::new();
             for s in &self.samples {
                 // A sample at time t covers (t - interval, t]; attribute
                 // it to the day containing t.
                 if s.t > lo && s.t <= hi {
                     total.accumulate(&s.total);
+                    cov.push(s.nodes_sampled as f64, s.nodes_total as f64);
                 }
             }
-            let node_seconds = DAY_S * self.node_count as f64;
+            let frac = cov.fraction();
+            let node_seconds = if frac > 0.0 {
+                DAY_S * self.node_count as f64 * frac
+            } else {
+                // A fully dark day: the delta is zero too, so dividing by
+                // the nominal window just yields all-zero rates.
+                DAY_S * self.node_count.max(1) as f64
+            };
             out.push(RateReport::from_delta(selection, &total, node_seconds));
         }
         out
@@ -189,6 +274,8 @@ mod tests {
             samples.push(SystemSample {
                 t,
                 nodes_sampled: 144,
+                nodes_total: 144,
+                anomalies: 0,
                 total,
                 rates,
             });
@@ -205,7 +292,9 @@ mod tests {
                 nodes: 72,
                 start: DAY_S,
                 end: 2.0 * DAY_S,
+                outcome: sp2_pbs::JobOutcome::Completed,
             }],
+            faults: FaultSummary::default(),
         }
     }
 
@@ -242,6 +331,50 @@ mod tests {
         let r = synthetic();
         assert_eq!(r.days_above(2.0), vec![1]);
         assert_eq!(r.days_above(5.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn full_coverage_is_exact_and_complete() {
+        let r = synthetic();
+        let c = r.coverage();
+        assert_eq!(c.fraction().to_bits(), 1.0f64.to_bits());
+        assert!(c.is_complete());
+        assert!(r.partial_days().is_empty());
+        assert_eq!(r.total_anomalies(), 0);
+    }
+
+    #[test]
+    fn gaps_shrink_coverage_and_flag_days() {
+        let mut r = synthetic();
+        // Knock 44 nodes out of every day-0 sample.
+        for s in r.samples.iter_mut().filter(|s| s.t <= DAY_S) {
+            s.nodes_sampled = 100;
+        }
+        let c = r.coverage();
+        assert!(c.fraction() < 1.0);
+        assert_eq!(r.partial_days(), vec![0]);
+        assert!((r.day_coverage(0).fraction() - 100.0 / 144.0).abs() < 1e-12);
+        assert_eq!(r.day_coverage(1).fraction().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn coverage_weighting_rescues_partial_day_rates() {
+        let full = synthetic();
+        let mut half = synthetic();
+        // Day 1: only half the machine sampled, producing half the delta.
+        for s in half.samples.iter_mut().filter(|s| s.t > DAY_S) {
+            s.nodes_sampled = 72;
+            for v in s.total.user.iter_mut() {
+                *v /= 2;
+            }
+        }
+        let f = full.daily_node_rates();
+        let h = half.daily_node_rates();
+        // Per-node rates survive the gap (the sampled half divides by the
+        // sampled node-seconds).
+        assert!((h[1].mflops - f[1].mflops).abs() < 1e-9);
+        // And the fault-free day is bit-identical to the full run.
+        assert_eq!(h[0].mflops.to_bits(), f[0].mflops.to_bits());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The campaign event loop.
 
 use crate::activity::ActivityPlan;
+use crate::faults::FaultPlan;
 use crate::paging::PagingModel;
-use crate::result::CampaignResult;
+use crate::result::{CampaignResult, FaultSummary};
 use crate::state::NodeState;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sp2_hpm::{nas_selection, CounterSelection, CounterSnapshot};
-use sp2_pbs::{JobId, JobRecord, JobSpec, Pbs};
+use sp2_pbs::{JobId, JobOutcome, JobRecord, JobSpec, Pbs, PbsError};
 use sp2_power2::handler::{daemon_sample_signature, page_fault_signature};
 use sp2_power2::{KernelSignature, MachineConfig};
 use sp2_rs2hpm::{CounterSource, Daemon, JobCounterReport, SAMPLE_INTERVAL_S};
@@ -16,6 +17,10 @@ use sp2_workload::{CampaignSpec, JobMix, SubmittedJob, WorkloadLibrary};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+
+/// How many times a job may run before PBS gives up on it: the first
+/// attempt plus up to two requeues after node failures.
+const MAX_JOB_ATTEMPTS: u32 = 3;
 
 /// Machine-level configuration of the simulated SP2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,15 +159,47 @@ impl ClusterConfigBuilder {
     }
 }
 
+/// A campaign that could not run to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The dedicated worker pool could not be built.
+    ThreadPool(String),
+    /// PBS rejected a request the simulation issued (e.g. a trace job
+    /// requesting more nodes than the configured machine has).
+    Pbs(PbsError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::ThreadPool(e) => write!(f, "building the worker pool failed: {e}"),
+            CampaignError::Pbs(e) => write!(f, "batch system rejected a request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<PbsError> for CampaignError {
+    fn from(e: PbsError) -> Self {
+        CampaignError::Pbs(e)
+    }
+}
+
 /// Event kinds, ordered by time then kind for determinism.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
     /// A job submission (index into the trace).
     Submit(usize),
-    /// A running job finishes.
-    Finish(JobId),
-    /// The RS2HPM daemon's 15-minute sample.
-    Sample,
+    /// A running job's `attempt`-th run finishes. Stale events (the
+    /// attempt was killed by a node failure) are ignored on pop.
+    Finish(JobId, u32),
+    /// The RS2HPM daemon's 15-minute sample (1-based sweep index).
+    Sample(u64),
+    /// A node fails.
+    NodeDown(usize),
+    /// A node is repaired and rebooted.
+    NodeUp(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,20 +225,22 @@ struct RunningJob {
     spec: JobSpec,
     nodes: Vec<usize>,
     start: f64,
+    attempt: u32,
     prologue: Vec<CounterSnapshot>,
 }
 
 /// Daemon adaptor over advanced node states.
 struct NodeSource<'a> {
     nodes: &'a [NodeState],
+    down: &'a [bool],
 }
 
 impl CounterSource for NodeSource<'_> {
     fn node_count(&self) -> usize {
         self.nodes.len()
     }
-    fn node_available(&self, _node: usize) -> bool {
-        true
+    fn node_available(&self, node: usize) -> bool {
+        !self.down[node]
     }
     fn snapshot(&self, node: usize) -> CounterSnapshot {
         self.nodes[node].hpm().snapshot()
@@ -209,14 +248,19 @@ impl CounterSource for NodeSource<'_> {
 }
 
 /// Runs the full campaign: replays `trace` through PBS on the simulated
-/// machine for `days` days and returns every dataset the paper's
-/// evaluation uses.
+/// machine for `days` days, injecting `faults`, and returns every dataset
+/// the paper's evaluation uses.
+///
+/// With [`FaultPlan::none`] the result is bit-identical to a fault-free
+/// engine at any thread count; with a generated plan the result is fully
+/// determined by the trace seed and the fault seed.
 pub fn run_campaign(
     config: &ClusterConfig,
     library: &WorkloadLibrary,
     trace: &[SubmittedJob],
     days: u32,
-) -> CampaignResult {
+    faults: &FaultPlan,
+) -> Result<CampaignResult, CampaignError> {
     let horizon = days as f64 * 86_400.0;
     let selection = config.selection.clone();
     let handler: KernelSignature = page_fault_signature(&config.machine);
@@ -235,6 +279,12 @@ pub fn run_campaign(
     let mut running: HashMap<JobId, RunningJob> = HashMap::new();
     let mut job_reports: Vec<JobCounterReport> = Vec::new();
     let mut pbs_records: Vec<JobRecord> = Vec::new();
+    let mut down = vec![false; config.nodes];
+    let mut attempts: Vec<u32> = vec![0; trace.len()];
+    let mut summary = FaultSummary {
+        enabled: !faults.is_empty(),
+        ..FaultSummary::default()
+    };
 
     let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -248,13 +298,30 @@ pub fn run_campaign(
             push(&mut heap, &mut seq, job.submit_s, Ev::Submit(i));
         }
     }
+    let mut sweep = 0u64;
     let mut t_sample = SAMPLE_INTERVAL_S;
     while t_sample <= horizon {
-        push(&mut heap, &mut seq, t_sample, Ev::Sample);
+        sweep += 1;
+        push(&mut heap, &mut seq, t_sample, Ev::Sample(sweep));
         t_sample += SAMPLE_INTERVAL_S;
     }
+    for outage in faults.outages() {
+        if outage.start < horizon {
+            push(&mut heap, &mut seq, outage.start, Ev::NodeDown(outage.node));
+            push(&mut heap, &mut seq, outage.end, Ev::NodeUp(outage.node));
+            summary.outages += 1;
+        }
+    }
+    summary.node_downtime_s = faults.node_downtime_s(horizon);
+
     // Baseline daemon pass at t=0.
-    daemon.collect(&NodeSource { nodes: &nodes }, 0.0);
+    daemon.collect(
+        &NodeSource {
+            nodes: &nodes,
+            down: &down,
+        },
+        0.0,
+    );
 
     // Start any jobs PBS can place at `now`.
     let start_jobs = |now: f64,
@@ -263,6 +330,7 @@ pub fn run_campaign(
                       running: &mut HashMap<JobId, RunningJob>,
                       heap: &mut BinaryHeap<Reverse<Scheduled>>,
                       seq: &mut u64,
+                      attempts: &[u32],
                       trace: &[SubmittedJob]| {
         for started in pbs.schedule(now) {
             let submitted = &trace[started.spec.payload as usize];
@@ -284,14 +352,16 @@ pub fn run_campaign(
             // PBS enforces the walltime limit: a job that would run past
             // its request is killed at the limit (no checkpointing on
             // the SP2, so killed means gone).
+            let attempt = attempts[started.spec.payload as usize];
             let finish_t = now + submitted.residency_s();
-            push(heap, seq, finish_t, Ev::Finish(started.spec.id));
+            push(heap, seq, finish_t, Ev::Finish(started.spec.id, attempt));
             running.insert(
                 started.spec.id,
                 RunningJob {
                     spec: started.spec,
                     nodes: started.nodes,
                     start: now,
+                    attempt,
                     prologue,
                 },
             );
@@ -310,7 +380,7 @@ pub fn run_campaign(
                     nodes: job.nodes,
                     requested_walltime_s: job.requested_walltime_s,
                     payload: i as u64,
-                });
+                })?;
                 start_jobs(
                     t,
                     &mut pbs,
@@ -318,10 +388,15 @@ pub fn run_campaign(
                     &mut running,
                     &mut heap,
                     &mut seq,
+                    &attempts,
                     trace,
                 );
             }
-            Ev::Finish(id) => {
+            Ev::Finish(id, attempt) => {
+                if running.get(&id).map(|j| j.attempt) != Some(attempt) {
+                    // Stale: this attempt was killed by a node failure.
+                    continue;
+                }
                 let Some(job) = running.remove(&id) else {
                     continue;
                 };
@@ -338,12 +413,13 @@ pub fn run_campaign(
                     t,
                     &pairs,
                 ));
-                pbs.finish(id, t);
+                pbs.finish(id, t)?;
                 pbs_records.push(JobRecord {
                     id: job.spec.id.0,
                     nodes: job.spec.nodes,
                     start: job.start,
                     end: t,
+                    outcome: JobOutcome::Completed,
                 });
                 start_jobs(
                     t,
@@ -352,24 +428,113 @@ pub fn run_campaign(
                     &mut running,
                     &mut heap,
                     &mut seq,
+                    &attempts,
                     trace,
                 );
             }
-            Ev::Sample => {
+            Ev::Sample(k) => {
+                if faults.sweep_missed(k) {
+                    summary.missed_sweeps += 1;
+                    continue;
+                }
+                if faults.restart_before_sweep(k) {
+                    daemon.restart();
+                    summary.daemon_restarts += 1;
+                }
                 // Batched sampling pass: advance every node's counters to
-                // `t` and snapshot them in one sweep. Nodes are
-                // independent between events, so the sweep parallelizes
-                // across the current rayon pool; the map preserves node
-                // order, and the daemon folds the batch in index order,
-                // so the sample is bit-identical at any thread count.
+                // `t` in parallel (nodes are independent between events),
+                // then snapshot serially in index order. Down nodes are
+                // skipped exactly as the real cron script skipped
+                // unavailable nodes; glitched nodes return their raw
+                // 32-bit registers. The daemon folds the batch in index
+                // order, so the sample is bit-identical at any thread
+                // count.
+                nodes.par_iter_mut().for_each(|n| n.advance(t));
+                let glitched = faults.glitched_nodes(k);
                 let snapshots: Vec<Option<CounterSnapshot>> = nodes
-                    .par_iter_mut()
-                    .map(|n| {
-                        n.advance(t);
-                        Some(n.hpm().snapshot())
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        if down[i] {
+                            return None;
+                        }
+                        let snap = n.hpm().snapshot();
+                        if glitched.contains(&i) {
+                            Some(snap.truncate_to_hardware())
+                        } else {
+                            Some(snap)
+                        }
                     })
                     .collect();
+                summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
                 daemon.collect_batch(&snapshots, t);
+            }
+            Ev::NodeDown(node) => {
+                if down[node] {
+                    continue;
+                }
+                down[node] = true;
+                // The node crashes: counters freeze at `t` (they advanced
+                // while the job computed up to the crash).
+                nodes[node].set_activity(t, None);
+                let victim = pbs.take_node_offline(node);
+                if let Some(id) = victim {
+                    let killed = pbs.kill(id, t)?;
+                    if let Some(job) = running.remove(&id) {
+                        // Surviving siblings drop back to idle; no
+                        // epilogue runs for a killed job.
+                        for &n in &job.nodes {
+                            if n != node && !down[n] {
+                                nodes[n].set_activity(t, Some(idle_plan.clone()));
+                            }
+                        }
+                        let requeued = job.attempt + 1 < MAX_JOB_ATTEMPTS;
+                        summary.jobs_killed += 1;
+                        pbs_records.push(JobRecord {
+                            id: job.spec.id.0,
+                            nodes: job.spec.nodes,
+                            start: job.start,
+                            end: t,
+                            outcome: JobOutcome::NodeFailure { requeued },
+                        });
+                        if requeued {
+                            attempts[id.0 as usize] += 1;
+                            summary.jobs_requeued += 1;
+                            pbs.requeue(killed.spec);
+                        }
+                    }
+                }
+                start_jobs(
+                    t,
+                    &mut pbs,
+                    &mut nodes,
+                    &mut running,
+                    &mut heap,
+                    &mut seq,
+                    &attempts,
+                    trace,
+                );
+            }
+            Ev::NodeUp(node) => {
+                if !down[node] {
+                    continue;
+                }
+                down[node] = false;
+                // Repair and reboot: the monitor state did not survive,
+                // so the daemon will re-baseline this node.
+                nodes[node].reboot(t);
+                nodes[node].set_activity(t, Some(idle_plan.clone()));
+                pbs.bring_node_online(node);
+                start_jobs(
+                    t,
+                    &mut pbs,
+                    &mut nodes,
+                    &mut running,
+                    &mut heap,
+                    &mut seq,
+                    &attempts,
+                    trace,
+                );
             }
         }
     }
@@ -380,17 +545,20 @@ pub fn run_campaign(
     let mut ids: Vec<JobId> = running.keys().copied().collect();
     ids.sort(); // HashMap iteration order is nondeterministic
     for id in ids {
-        let job = running.remove(&id).unwrap();
-        pbs.finish(id, horizon);
+        let Some(job) = running.remove(&id) else {
+            continue;
+        };
+        pbs.finish(id, horizon)?;
         pbs_records.push(JobRecord {
             id: job.spec.id.0,
             nodes: job.spec.nodes,
             start: job.start,
             end: horizon,
+            outcome: JobOutcome::Horizon,
         });
     }
 
-    CampaignResult {
+    Ok(CampaignResult {
         days,
         node_count: config.nodes,
         machine: config.machine,
@@ -398,7 +566,8 @@ pub fn run_campaign(
         samples: daemon.samples().to_vec(),
         job_reports,
         pbs_records,
-    }
+        faults: summary,
+    })
 }
 
 /// Runs the campaign on a dedicated pool of `threads` worker threads
@@ -414,17 +583,20 @@ pub fn run_campaign_with_threads(
     trace: &[SubmittedJob],
     days: u32,
     threads: usize,
-) -> CampaignResult {
+    faults: &FaultPlan,
+) -> Result<CampaignResult, CampaignError> {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("building a thread pool cannot fail");
-    pool.install(|| run_campaign(config, library, trace, days))
+        .map_err(|e| CampaignError::ThreadPool(e.to_string()))?;
+    pool.install(|| run_campaign(config, library, trace, days, faults))
 }
 
 /// Runs `replications` independent campaigns whose traces derive from
 /// `base_spec` with per-replication seeds (`seed + index`), sharded
-/// across the rayon pool.
+/// across the rayon pool. Every replication replays the same `faults`
+/// plan, so replication spread isolates workload variance from fault
+/// variance.
 ///
 /// Replications are embarrassingly parallel: each generates its own
 /// submission trace and replays it on its own simulated machine. The
@@ -437,7 +609,8 @@ pub fn run_replications(
     mix: &JobMix,
     base_spec: &CampaignSpec,
     replications: usize,
-) -> Vec<CampaignResult> {
+    faults: &FaultPlan,
+) -> Result<Vec<CampaignResult>, CampaignError> {
     (0..replications as u64)
         .collect::<Vec<_>>()
         .into_par_iter()
@@ -447,8 +620,10 @@ pub fn run_replications(
                 ..*base_spec
             };
             let jobs = sp2_workload::trace::generate(&spec, mix, library);
-            run_campaign(config, library, &jobs, spec.days)
+            run_campaign(config, library, &jobs, spec.days, faults)
         })
+        .collect::<Vec<Result<CampaignResult, CampaignError>>>()
+        .into_iter()
         .collect()
 }
 
@@ -459,6 +634,10 @@ mod tests {
 
     /// A small but real campaign used by several tests.
     fn small_campaign() -> CampaignResult {
+        small_campaign_with(&FaultPlan::none())
+    }
+
+    fn small_campaign_with(faults: &FaultPlan) -> CampaignResult {
         let config = ClusterConfig::default();
         let library = WorkloadLibrary::build(&config.machine, 42);
         let spec = CampaignSpec {
@@ -467,7 +646,7 @@ mod tests {
             ..Default::default()
         };
         let jobs = trace::generate(&spec, &JobMix::nas(), &library);
-        run_campaign(&config, &library, &jobs, spec.days)
+        run_campaign(&config, &library, &jobs, spec.days, faults).expect("campaign runs")
     }
 
     #[test]
@@ -479,6 +658,10 @@ mod tests {
         assert_eq!(r.samples.len(), 7 * 96 + 1);
         assert!(!r.job_reports.is_empty(), "jobs must have completed");
         assert!(r.pbs_records.len() >= r.job_reports.len());
+        assert!(!r.faults.enabled, "no faults were injected");
+        assert!(r.pbs_records.iter().all(|rec| rec.outcome
+            != JobOutcome::NodeFailure { requeued: true }
+            && rec.outcome != JobOutcome::NodeFailure { requeued: false }));
     }
 
     #[test]
@@ -527,6 +710,67 @@ mod tests {
         let r = small_campaign();
         for report in &r.job_reports {
             assert!(report.nodes >= 1 && report.nodes <= 144);
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_is_deterministic_and_degraded() {
+        let plan = FaultPlan::generate(144, 7, 1.0, 1996);
+        let a = small_campaign_with(&plan);
+        let b = small_campaign_with(&plan);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.nodes_sampled, y.nodes_sampled);
+        }
+        assert!(a.faults.enabled);
+        assert_eq!(a.faults, b.faults);
+        // The plan injected real degradation.
+        assert!(a.faults.outages > 0);
+        assert!(a.samples.len() < 7 * 96 + 1, "missed sweeps drop samples");
+        assert!(
+            a.samples.iter().any(|s| s.has_gap()),
+            "outages must leave coverage gaps"
+        );
+    }
+
+    #[test]
+    fn node_failures_kill_and_requeue_jobs() {
+        let plan = FaultPlan::generate(144, 7, 2.0, 11);
+        let r = small_campaign_with(&plan);
+        assert!(r.faults.jobs_killed > 0, "a 2x fault rate must hit jobs");
+        assert!(r.faults.jobs_requeued > 0);
+        assert!(r.faults.jobs_requeued <= r.faults.jobs_killed);
+        let killed = r
+            .pbs_records
+            .iter()
+            .filter(|rec| matches!(rec.outcome, JobOutcome::NodeFailure { .. }))
+            .count();
+        assert_eq!(killed, r.faults.jobs_killed);
+        // A requeued job eventually reappears: some id has both a
+        // NodeFailure record and a later Completed/Horizon record.
+        let reran = r.pbs_records.iter().any(|rec| {
+            matches!(rec.outcome, JobOutcome::NodeFailure { requeued: true })
+                && r.pbs_records
+                    .iter()
+                    .any(|r2| r2.id == rec.id && r2.start >= rec.end && r2.outcome != rec.outcome)
+        });
+        assert!(reran, "requeued jobs must get another attempt");
+    }
+
+    #[test]
+    fn glitches_surface_as_anomalies_not_garbage_rates() {
+        let plan = FaultPlan::generate(144, 7, 2.0, 5);
+        assert!(plan.glitch_count() > 0);
+        let r = small_campaign_with(&plan);
+        let anomalies: usize = r.samples.iter().map(|s| s.anomalies).sum();
+        assert!(anomalies > 0, "glitches must be detected");
+        let peak = 144.0 * MachineConfig::nas_sp2().peak_mflops();
+        for s in &r.samples {
+            assert!(
+                s.rates.mflops < peak,
+                "a wrapped delta leaked into the rates"
+            );
         }
     }
 }

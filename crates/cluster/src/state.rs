@@ -54,6 +54,16 @@ impl NodeState {
         self.activity.as_ref()
     }
 
+    /// Reboots the node at time `t` (repair after an outage): whatever
+    /// activity was installed is dropped and the monitor's counters are
+    /// cleared — the virtualized counter state does not survive a power
+    /// cycle, which is why the daemon must re-baseline rebooted nodes.
+    pub fn reboot(&mut self, t: f64) {
+        self.advance(t);
+        self.activity = None;
+        self.hpm.reset();
+    }
+
     /// Snapshots the monitor as of time `t`.
     pub fn snapshot_at(&mut self, t: f64) -> CounterSnapshot {
         self.advance(t);
@@ -121,6 +131,23 @@ mod tests {
         let mut n = NodeState::new(nas_selection());
         n.advance(100.0);
         n.advance(50.0);
+    }
+
+    #[test]
+    fn reboot_clears_counters_and_activity() {
+        let mut n = NodeState::new(nas_selection());
+        n.set_activity(0.0, Some(idle_plan()));
+        let before = n.snapshot_at(900.0);
+        assert!(before.system.iter().any(|&c| c > 0));
+        n.reboot(1000.0);
+        assert!(n.snapshot_at(1000.0).system.iter().all(|&c| c == 0));
+        assert!(n.activity().is_none());
+        // Time keeps moving forward from the reboot point.
+        let after = n.snapshot_at(2000.0);
+        assert!(
+            after.system.iter().all(|&c| c == 0),
+            "no activity installed"
+        );
     }
 
     #[test]

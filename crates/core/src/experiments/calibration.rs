@@ -1,7 +1,8 @@
 //! §5 calibration points: the single-processor reference measurements
 //! the paper anchors its analysis on.
 
-use crate::experiments::{Dataset, Experiment};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -160,14 +161,15 @@ impl Experiment for CalibrationExperiment {
         false
     }
 
-    fn run(&self, campaign: &sp2_cluster::CampaignResult) -> Dataset {
-        let c = run(&campaign.machine);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: c.render(),
-            json: c.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let c = run(&input.campaign.machine);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            c.render(),
+            c.to_json(),
+            &input,
+        ))
     }
 }
 

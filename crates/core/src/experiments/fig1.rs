@@ -1,7 +1,8 @@
 //! Figure 1: NAS SP2 system performance history — daily Gflops, its
 //! moving average, and the utilization moving average over the campaign.
 
-use crate::experiments::{Dataset, Experiment};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -119,14 +120,15 @@ impl Experiment for Fig1Experiment {
         "Figure 1: NAS SP2 System Performance History"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let f = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: f.render(),
-            json: f.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let f = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            f.render(),
+            f.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -138,7 +140,7 @@ mod tests {
     #[test]
     fn fig1_series_aligned() {
         let mut sys = Sp2System::nas_1996(14);
-        let f = run(sys.campaign());
+        let f = run(sys.campaign().expect("campaign runs"));
         assert_eq!(f.daily_gflops.len(), 14);
         assert_eq!(f.gflops_moving_avg.len(), 14);
         assert_eq!(f.daily_utilization.len(), 14);

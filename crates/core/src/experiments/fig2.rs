@@ -1,6 +1,7 @@
 //! Figure 2: batch-job walltime as a function of nodes requested.
 
-use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, BATCH_MIN_WALLTIME_S};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -87,14 +88,15 @@ impl Experiment for Fig2Experiment {
         "Figure 2: Batch Job Walltime as a Function of Nodes Requested"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let f = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: f.render(),
-            json: f.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let f = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            f.render(),
+            f.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -106,7 +108,7 @@ mod tests {
     #[test]
     fn moderately_parallel_jobs_dominate() {
         let mut sys = Sp2System::nas_1996(20);
-        let f = run(sys.campaign());
+        let f = run(sys.campaign().expect("campaign runs"));
         assert_eq!(f.mode_nodes, Some(16), "16 nodes is the paper's mode");
         assert!(
             f.fraction_above_64 < 0.1,

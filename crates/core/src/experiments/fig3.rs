@@ -1,6 +1,7 @@
 //! Figure 3: batch-job performance per node vs nodes requested.
 
-use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, BATCH_MIN_WALLTIME_S};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -64,10 +65,7 @@ pub(crate) fn run(campaign: &CampaignResult) -> Fig3 {
         }
         s.mean()
     };
-    let peak = points
-        .iter()
-        .copied()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let peak = points.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1));
     Fig3 {
         small_mean: section_mean(&|n| n <= 64),
         large_mean: section_mean(&|n| n > 64),
@@ -150,14 +148,15 @@ impl Experiment for Fig3Experiment {
         "Figure 3: Batch Job Performance vs Nodes Requested"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let f = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: f.render(),
-            json: f.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let f = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            f.render(),
+            f.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -169,7 +168,7 @@ mod tests {
     #[test]
     fn per_node_rate_collapses_beyond_64() {
         let mut sys = Sp2System::nas_1996(30);
-        let f = run(sys.campaign());
+        let f = run(sys.campaign().expect("campaign runs"));
         assert!(!f.points.is_empty());
         if f.large_mean > 0.0 {
             assert!(

@@ -1,7 +1,8 @@
 //! Figure 4: 16-node performance histories — whole-job Mflops against
 //! batch job id, with a moving average showing no improvement trend.
 
-use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, BATCH_MIN_WALLTIME_S};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -100,14 +101,15 @@ impl Experiment for Fig4Experiment {
         "Figure 4: NAS SP2 16-node Performance Histories"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let f = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: f.render(),
-            json: f.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let f = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            f.render(),
+            f.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -119,7 +121,7 @@ mod tests {
     #[test]
     fn sixteen_node_history_shape() {
         let mut sys = Sp2System::nas_1996(30);
-        let f = run(sys.campaign());
+        let f = run(sys.campaign().expect("campaign runs"));
         assert!(f.points.len() > 50, "16-node jobs are the most popular");
         // Paper: average 320 Mflops with a wide spread; shape band here.
         assert!(

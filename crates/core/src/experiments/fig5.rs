@@ -1,7 +1,8 @@
 //! Figure 5: node performance vs system intervention — per-node Mflops
 //! against the (system FXU)/(user FXU) instruction ratio.
 
-use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, BATCH_MIN_WALLTIME_S};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -104,14 +105,15 @@ impl Experiment for Fig5Experiment {
         "Figure 5: Node Performance vs System Intervention"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let f = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: f.render(),
-            json: f.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let f = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            f.render(),
+            f.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -123,7 +125,7 @@ mod tests {
     #[test]
     fn performance_falls_with_system_intervention() {
         let mut sys = Sp2System::nas_1996(30);
-        let f = run(sys.campaign());
+        let f = run(sys.campaign().expect("campaign runs"));
         assert!(!f.points.is_empty());
         assert!(
             f.correlation < -0.3,

@@ -12,7 +12,8 @@
 //! the paper wished for: daily performance now correlates with a
 //! *measured* I/O-wait fraction instead of requiring node logins.
 
-use crate::experiments::{Dataset, Experiment, SelectionKind};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -91,7 +92,7 @@ pub(crate) fn run(campaign: &CampaignResult, clock_hz: f64) -> IoWaitReport {
 
     // Median split.
     let mut sorted: Vec<f64> = days.iter().map(|d| d.gflops).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     let mean_of = |pred: &dyn Fn(&IoWaitDay) -> bool| -> f64 {
         let sel: Vec<f64> = days
@@ -186,14 +187,15 @@ impl Experiment for IoWaitExperiment {
         SelectionKind::IoAware
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let r = run(campaign, campaign.machine.clock_hz);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: r.render(),
-            json: r.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let r = run(input.campaign, input.campaign.machine.clock_hz);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            r.render(),
+            r.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -216,7 +218,7 @@ mod tests {
     fn io_wait_attribution_works_under_the_extended_selection() {
         let mut sys = io_aware_system(20);
         let clock = sys.config().machine.clock_hz;
-        let report = run(sys.campaign(), clock);
+        let report = run(sys.campaign().expect("campaign runs"), clock);
         assert_eq!(report.days.len(), 20);
         // Some paging happened somewhere in 20 days.
         let total_io: f64 = report.days.iter().map(|d| d.io_wait_fraction).sum();
@@ -236,6 +238,6 @@ mod tests {
     fn refuses_blind_campaigns() {
         let mut sys = Sp2System::nas_1996(2);
         let clock = sys.config().machine.clock_hz;
-        run(sys.campaign(), clock);
+        run(sys.campaign().expect("campaign runs"), clock);
     }
 }

@@ -1,13 +1,15 @@
 //! One experiment per table and figure of the paper's evaluation.
 //!
 //! Every experiment implements the [`Experiment`] trait: a stable `id`,
-//! a human title, and a `run` that turns a [`CampaignResult`] into a
-//! [`Dataset`] carrying both the paper-style text rendering and a JSON
-//! document for export. [`all_experiments`] is the registry the `sp2`
-//! binary, the examples, and every bench target dispatch through; the
-//! typed per-module `run()` functions are crate-private so the registry
-//! is the only public entry point.
+//! a human title, and a fallible `run` that turns an [`ExperimentInput`]
+//! into a [`Dataset`] carrying the paper-style text rendering, a JSON
+//! document for export, and a data-quality footer describing how
+//! complete the underlying campaign data was. [`all_experiments`] is the
+//! registry the `sp2` binary, the examples, and every bench target
+//! dispatch through; the typed per-module `run()` functions are
+//! crate-private so the registry is the only public entry point.
 
+pub mod availability;
 pub mod calibration;
 pub mod fig1;
 pub mod fig2;
@@ -15,13 +17,16 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod iowait;
+pub mod quality;
 pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 
+use crate::error::Sp2Error;
 use crate::json::{Json, ToJson};
+pub use quality::DataQuality;
 use sp2_cluster::CampaignResult;
 use sp2_hpm::{io_aware_selection, nas_selection, CounterSelection};
 
@@ -51,18 +56,51 @@ impl SelectionKind {
     }
 }
 
+/// What an experiment analyses: the campaign it declares it needs
+/// (possibly degraded by fault injection) plus, for experiments that
+/// declare [`Experiment::needs_baseline`], a fault-free twin campaign
+/// run from the same trace and seed.
+#[derive(Clone, Copy)]
+pub struct ExperimentInput<'a> {
+    /// The campaign under analysis.
+    pub campaign: &'a CampaignResult,
+    /// The fault-free twin, when the experiment asked for one. Equal to
+    /// `campaign` when no faults were configured.
+    pub baseline: Option<&'a CampaignResult>,
+}
+
+impl<'a> ExperimentInput<'a> {
+    /// An input with no baseline.
+    pub fn of(campaign: &'a CampaignResult) -> Self {
+        ExperimentInput {
+            campaign,
+            baseline: None,
+        }
+    }
+
+    /// Attaches the fault-free twin campaign.
+    pub fn with_baseline(mut self, baseline: &'a CampaignResult) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+}
+
 /// What running an experiment produces: the paper-style text rendering
-/// plus a JSON document suitable for [`crate::export::write_json`].
+/// (with a data-quality footer) plus a JSON document suitable for
+/// [`crate::export::write_json`].
 #[derive(Debug, Clone)]
 pub struct Dataset {
     /// The experiment's stable id (also the artifact file stem).
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
-    /// The text rendering (tables/series as the paper prints them).
+    /// The text rendering (tables/series as the paper prints them),
+    /// ending in the data-quality footer.
     pub rendered: String,
-    /// The dataset as a JSON document.
+    /// The dataset as a JSON document, with a `data_quality` field.
     pub json: Json,
+    /// How complete the campaign data behind the exhibit was.
+    pub quality: DataQuality,
 }
 
 impl ToJson for Dataset {
@@ -72,10 +110,31 @@ impl ToJson for Dataset {
 }
 
 impl Dataset {
+    /// Assembles a dataset from an experiment's rendering and JSON
+    /// document, appending the data-quality footer derived from the
+    /// input campaign to both.
+    pub fn assemble(
+        id: &'static str,
+        title: &'static str,
+        mut rendered: String,
+        json: Json,
+        input: &ExperimentInput<'_>,
+    ) -> Dataset {
+        let quality = DataQuality::of(input.campaign);
+        rendered.push_str(&quality.footer());
+        Dataset {
+            id,
+            title,
+            rendered,
+            json: json.field("data_quality", quality.to_json()),
+            quality,
+        }
+    }
+
     /// Writes the JSON document to the artifacts directory under the
     /// experiment's id.
-    pub fn write_artifact(&self) -> std::io::Result<std::path::PathBuf> {
-        crate::export::write_json(self.id, self)
+    pub fn write_artifact(&self) -> Result<std::path::PathBuf, Sp2Error> {
+        Ok(crate::export::write_json(self.id, self)?)
     }
 }
 
@@ -93,9 +152,15 @@ pub trait Experiment: Sync {
 
     /// Whether `run` reads campaign data. Experiments that only need the
     /// machine description (Table 1, the §5 calibration) return `false`
-    /// and accept [`CampaignResult::empty`].
+    /// and accept an input built on [`CampaignResult::empty`].
     fn needs_campaign(&self) -> bool {
         true
+    }
+
+    /// Whether `run` wants [`ExperimentInput::baseline`] populated with
+    /// a fault-free twin campaign (the `availability` experiment).
+    fn needs_baseline(&self) -> bool {
+        false
     }
 
     /// The counter selection this experiment's campaign must run under.
@@ -103,24 +168,26 @@ pub trait Experiment: Sync {
         SelectionKind::Nas
     }
 
-    /// Produces the dataset from a campaign (see [`Experiment::needs_campaign`]
-    /// and [`Experiment::selection`] for what the campaign must be).
-    fn run(&self, campaign: &CampaignResult) -> Dataset;
+    /// Produces the dataset (see [`Experiment::needs_campaign`],
+    /// [`Experiment::needs_baseline`] and [`Experiment::selection`] for
+    /// what the input must carry).
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error>;
 
     /// The text rendering alone.
-    fn render(&self, campaign: &CampaignResult) -> String {
-        self.run(campaign).rendered
+    fn render(&self, input: ExperimentInput<'_>) -> Result<String, Sp2Error> {
+        Ok(self.run(input)?.rendered)
     }
 
     /// The JSON document alone.
-    fn to_json(&self, campaign: &CampaignResult) -> Json {
-        self.run(campaign).json
+    fn to_json(&self, input: ExperimentInput<'_>) -> Result<Json, Sp2Error> {
+        Ok(self.run(input)?.json)
     }
 }
 
-/// Every experiment, in the paper's presentation order.
+/// Every experiment, in the paper's presentation order (the §7 and
+/// fault-layer extensions follow the paper's own exhibits).
 pub fn all_experiments() -> &'static [&'static dyn Experiment] {
-    static ALL: [&dyn Experiment; 12] = [
+    static ALL: [&dyn Experiment; 13] = [
         &table1::Table1Experiment,
         &table2::Table2Experiment,
         &table3::Table3Experiment,
@@ -132,6 +199,7 @@ pub fn all_experiments() -> &'static [&'static dyn Experiment] {
         &fig5::Fig5Experiment,
         &calibration::CalibrationExperiment,
         &iowait::IoWaitExperiment,
+        &availability::AvailabilityExperiment,
         &summary::SummaryExperiment,
     ];
     &ALL
@@ -142,6 +210,12 @@ pub fn experiment(id: &str) -> Option<&'static dyn Experiment> {
     all_experiments().iter().copied().find(|e| e.id() == id)
 }
 
+/// Looks an experiment up by id, failing with
+/// [`Sp2Error::UnknownExperiment`] when the id is not registered.
+pub fn experiment_or_err(id: &str) -> Result<&'static dyn Experiment, Sp2Error> {
+    experiment(id).ok_or_else(|| Sp2Error::UnknownExperiment(id.to_string()))
+}
+
 #[cfg(test)]
 mod registry_tests {
     use super::*;
@@ -149,16 +223,20 @@ mod registry_tests {
     #[test]
     fn registry_ids_unique_and_resolvable() {
         let all = all_experiments();
-        assert_eq!(all.len(), 12);
+        assert_eq!(all.len(), 13);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12, "experiment ids must be unique");
+        assert_eq!(ids.len(), 13, "experiment ids must be unique");
         for e in all {
             assert_eq!(experiment(e.id()).unwrap().id(), e.id());
             assert!(!e.title().is_empty());
         }
         assert!(experiment("nonesuch").is_none());
+        assert!(matches!(
+            experiment_or_err("nonesuch"),
+            Err(Sp2Error::UnknownExperiment(_))
+        ));
     }
 
     #[test]
@@ -167,8 +245,13 @@ mod registry_tests {
         let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
         for e in all_experiments() {
             if !e.needs_campaign() {
-                let d = e.run(&empty);
+                let d = e.run(ExperimentInput::of(&empty)).unwrap();
                 assert!(!d.rendered.is_empty(), "{} rendered nothing", e.id());
+                assert!(
+                    d.rendered.contains("data quality:"),
+                    "{} missing quality footer",
+                    e.id()
+                );
                 assert!(
                     matches!(d.json, Json::Obj(_)),
                     "{} must export an object",
@@ -194,5 +277,7 @@ mod registry_tests {
             experiment("table2").unwrap().selection(),
             SelectionKind::Nas
         );
+        assert!(experiment("availability").unwrap().needs_baseline());
+        assert!(!experiment("fig1").unwrap().needs_baseline());
     }
 }

@@ -1,0 +1,149 @@
+//! The data-quality footer every experiment renders.
+//!
+//! The real 9-month trace was collected on a production machine: nodes
+//! failed, cron sweeps were missed, the daemon restarted, the odd read
+//! came back garbled. Each exhibit therefore carries a footer stating
+//! how complete the underlying data actually was, so a degraded table is
+//! never mistaken for a clean one.
+
+use crate::json::{Json, ToJson};
+use sp2_cluster::CampaignResult;
+
+/// How complete the campaign data behind a dataset was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataQuality {
+    /// Whether the exhibit consumed campaign samples at all (Table 1 and
+    /// the §5 calibration are static and carry a one-line footer).
+    pub static_exhibit: bool,
+    /// Fraction of expected node-samples actually collected, in `[0, 1]`.
+    pub coverage: f64,
+    /// Daemon samples the sweep schedule should have produced.
+    pub expected_samples: usize,
+    /// Daemon samples actually collected.
+    pub collected_samples: usize,
+    /// Node-samples lost to outages and discarded anomalies.
+    pub node_samples_missing: f64,
+    /// Implausible deltas the daemon discarded (counter glitches,
+    /// post-reboot wraps).
+    pub anomalies: usize,
+    /// Days whose sample coverage was incomplete.
+    pub partial_days: usize,
+    /// Whether fault injection was configured for the campaign.
+    pub faults_enabled: bool,
+}
+
+impl DataQuality {
+    /// Measures the quality of the data behind `campaign`.
+    pub fn of(campaign: &CampaignResult) -> Self {
+        let cov = campaign.coverage();
+        DataQuality {
+            static_exhibit: campaign.samples.is_empty(),
+            coverage: cov.fraction(),
+            expected_samples: campaign.expected_samples(),
+            collected_samples: campaign.samples.len(),
+            node_samples_missing: (cov.total - cov.covered).max(0.0),
+            anomalies: campaign.total_anomalies(),
+            partial_days: campaign.partial_days().len(),
+            faults_enabled: campaign.faults.enabled,
+        }
+    }
+
+    /// Whether nothing was lost.
+    pub fn is_complete(&self) -> bool {
+        self.collected_samples >= self.expected_samples
+            && self.node_samples_missing <= 0.0
+            && self.anomalies == 0
+    }
+
+    /// The footer line appended to every rendered exhibit (newline
+    /// terminated).
+    pub fn footer(&self) -> String {
+        if self.static_exhibit {
+            return "data quality: static exhibit (no campaign samples)\n".to_string();
+        }
+        if self.is_complete() {
+            return format!(
+                "data quality: complete ({}/{} samples, coverage 100 %)\n",
+                self.collected_samples, self.expected_samples
+            );
+        }
+        format!(
+            "data quality: DEGRADED (coverage {:.1} %, {}/{} samples, \
+             {:.0} node-samples lost, {} anomalies, {} partial days)\n",
+            self.coverage * 100.0,
+            self.collected_samples,
+            self.expected_samples,
+            self.node_samples_missing,
+            self.anomalies,
+            self.partial_days,
+        )
+    }
+}
+
+impl ToJson for DataQuality {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("static_exhibit", self.static_exhibit)
+            .field("complete", self.is_complete())
+            .field("coverage", self.coverage)
+            .field("expected_samples", self.expected_samples as u64)
+            .field("collected_samples", self.collected_samples as u64)
+            .field("node_samples_missing", self.node_samples_missing)
+            .field("anomalies", self.anomalies as u64)
+            .field("partial_days", self.partial_days as u64)
+            .field("faults_enabled", self.faults_enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2_hpm::nas_selection;
+    use sp2_power2::MachineConfig;
+
+    #[test]
+    fn empty_campaign_is_static() {
+        let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
+        let q = DataQuality::of(&empty);
+        assert!(q.static_exhibit);
+        assert!(q.footer().contains("static exhibit"));
+    }
+
+    #[test]
+    fn complete_footer_says_complete() {
+        let q = DataQuality {
+            static_exhibit: false,
+            coverage: 1.0,
+            expected_samples: 97,
+            collected_samples: 97,
+            node_samples_missing: 0.0,
+            anomalies: 0,
+            partial_days: 0,
+            faults_enabled: false,
+        };
+        assert!(q.is_complete());
+        assert!(q.footer().contains("complete"));
+        assert!(q.footer().contains("97/97"));
+    }
+
+    #[test]
+    fn degraded_footer_reports_losses() {
+        let q = DataQuality {
+            static_exhibit: false,
+            coverage: 0.973,
+            expected_samples: 5761,
+            collected_samples: 5754,
+            node_samples_missing: 212.0,
+            anomalies: 3,
+            partial_days: 4,
+            faults_enabled: true,
+        };
+        assert!(!q.is_complete());
+        let f = q.footer();
+        assert!(f.contains("DEGRADED"));
+        assert!(f.contains("5754/5761"));
+        assert!(f.contains("3 anomalies"));
+        let j = q.to_json().to_string_pretty();
+        assert!(j.contains("\"partial_days\": 4"));
+    }
+}

@@ -3,7 +3,10 @@
 //! day, best 15-minute interval, the good-day count, and the
 //! time-weighted per-node batch rate.
 
-use crate::experiments::{Dataset, Experiment, BATCH_MIN_WALLTIME_S, GOOD_DAY_GFLOPS};
+use crate::error::Sp2Error;
+use crate::experiments::{
+    Dataset, Experiment, ExperimentInput, BATCH_MIN_WALLTIME_S, GOOD_DAY_GFLOPS,
+};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -145,14 +148,15 @@ impl Experiment for SummaryExperiment {
         "Campaign Summary: headline statistics vs the paper"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let s = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: s.render(),
-            json: s.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let s = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            s.render(),
+            s.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn summary_reports_all_headline_stats() {
         let mut sys = Sp2System::nas_1996(7);
-        let s = run(sys.campaign());
+        let s = run(sys.campaign().expect("campaign runs"));
         assert_eq!(s.days, 7);
         assert_eq!(s.node_count, 144);
         assert_eq!(s.rows.len(), 6);

@@ -1,10 +1,10 @@
 //! Table 1: the NAS SP2 RS2HPM counter selection.
 
-use crate::experiments::{Dataset, Experiment};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
-use sp2_cluster::CampaignResult;
 use sp2_hpm::config::{table1_rows, Table1Row};
 
 /// The regenerated Table 1.
@@ -74,14 +74,15 @@ impl Experiment for Table1Experiment {
         false
     }
 
-    fn run(&self, _campaign: &CampaignResult) -> Dataset {
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
         let t = run();
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: t.render(),
-            json: t.to_json(),
-        }
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            t.render(),
+            t.to_json(),
+            &input,
+        ))
     }
 }
 

@@ -2,7 +2,8 @@
 //! workload — a representative good day plus the mean ± std over all
 //! days whose machine rate exceeded 2.0 Gflops.
 
-use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, GOOD_DAY_GFLOPS};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -48,7 +49,7 @@ pub(crate) fn run(campaign: &CampaignResult) -> Table2 {
     // Representative day: the good day whose Mflops is nearest the
     // good-day median (the paper shows one arbitrary day, "Day 45.0").
     let mut mflops: Vec<(usize, f64)> = good.iter().map(|&d| (d, daily[d].mflops)).collect();
-    mflops.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    mflops.sort_by(|a, b| a.1.total_cmp(&b.1));
     let representative_day = mflops.get(mflops.len() / 2).map(|&(d, _)| d).unwrap_or(0);
 
     let mut rows = Vec::new();
@@ -172,14 +173,15 @@ impl Experiment for Table2Experiment {
         "Table 2: Measured Major Rates for NAS Workload"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let t = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: t.render(),
-            json: t.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let t = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            t.render(),
+            t.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -191,7 +193,7 @@ mod tests {
     #[test]
     fn small_campaign_produces_table() {
         let mut sys = Sp2System::nas_1996(10);
-        let t = run(sys.campaign());
+        let t = run(sys.campaign().expect("campaign runs"));
         assert_eq!(t.total_days, 10);
         assert_eq!(t.rows.len(), 3);
         assert_eq!(t.rows[0].name, "Mips");

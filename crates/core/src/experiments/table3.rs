@@ -1,7 +1,8 @@
 //! Table 3: the full rate breakdown — Mflops by operation, Mips by unit,
 //! cache/TLB/I-cache miss rates, and DMA rates, over the good-day subset.
 
-use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, GOOD_DAY_GFLOPS};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -77,7 +78,7 @@ pub(crate) fn run(campaign: &CampaignResult) -> Table3 {
     let good = campaign.days_above(GOOD_DAY_GFLOPS);
     let representative_day = {
         let mut mflops: Vec<(usize, f64)> = good.iter().map(|&d| (d, daily[d].mflops)).collect();
-        mflops.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        mflops.sort_by(|a, b| a.1.total_cmp(&b.1));
         mflops.get(mflops.len() / 2).map(|&(d, _)| d).unwrap_or(0)
     };
 
@@ -218,14 +219,15 @@ impl Experiment for Table3Experiment {
         "Table 3: Measured Major Rates for NAS Workload (full breakdown)"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let t = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: t.render(),
-            json: t.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let t = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            t.render(),
+            t.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -237,7 +239,7 @@ mod tests {
     #[test]
     fn breakdown_consistency() {
         let mut sys = Sp2System::nas_1996(12);
-        let t = run(sys.campaign());
+        let t = run(sys.campaign().expect("campaign runs"));
         assert_eq!(t.rows.len(), ROWS.len());
         if t.good_days == 0 {
             return; // nothing further to check on a quiet small campaign

@@ -2,7 +2,8 @@
 //! plus Mflops/CPU for the NAS workload, a pure sequential-access sweep,
 //! and the NPB-BT-like tuned solver.
 
-use crate::experiments::{Dataset, Experiment, GOOD_DAY_GFLOPS};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, GOOD_DAY_GFLOPS};
 use crate::json::{Json, ToJson};
 use crate::render;
 use serde::{Deserialize, Serialize};
@@ -155,14 +156,15 @@ impl Experiment for Table4Experiment {
         "Table 4: Hierarchical Memory Performance"
     }
 
-    fn run(&self, campaign: &CampaignResult) -> Dataset {
-        let t = run(campaign);
-        Dataset {
-            id: self.id(),
-            title: self.title(),
-            rendered: t.render(),
-            json: t.to_json(),
-        }
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let t = run(input.campaign);
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            t.render(),
+            t.to_json(),
+            &input,
+        ))
     }
 }
 
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn table4_shape_matches_paper() {
         let mut sys = Sp2System::nas_1996(8);
-        let t = run(sys.campaign());
+        let t = run(sys.campaign().expect("campaign runs"));
         assert_eq!(t.columns.len(), 3);
         let seq = &t.columns[1];
         let bt = &t.columns[2];

@@ -28,12 +28,15 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Adds a field to an object (panics on non-objects: construction
-    /// bugs should fail loudly in tests, not emit bad artifacts).
+    /// Adds a field to an object. On non-objects the call is a no-op in
+    /// release builds (and trips a debug assertion in tests), so a
+    /// construction bug degrades an artifact instead of aborting a
+    /// campaign that took hours to run.
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            other => panic!("field() on non-object {other:?}"),
+        if let Json::Obj(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        } else {
+            debug_assert!(false, "field({key:?}) on non-object {self:?}");
         }
         self
     }

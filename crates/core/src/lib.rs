@@ -1,10 +1,16 @@
 //! Facade for the SP2 HPM reproduction.
 //!
 //! [`Sp2System`] wires the substrates together — the POWER2 node model,
-//! the HPM, the RS2HPM tool chain, PBS, the switch, and the synthetic NAS
-//! workload — and runs campaigns on the parallel engine. Every table and
-//! figure of the paper's evaluation is an [`experiments::Experiment`]
-//! registered in [`experiments::all_experiments`]:
+//! the HPM, the RS2HPM tool chain, PBS, the switch, the synthetic NAS
+//! workload, and the seeded fault layer — and runs campaigns on the
+//! parallel engine. The public API is fallible: campaign and experiment
+//! entry points return [`Result`] with the unified [`Sp2Error`], so
+//! callers decide how a bad configuration or a failed engine run exits.
+//! Every table and figure of the paper's evaluation is an
+//! [`experiments::Experiment`] registered in
+//! [`experiments::all_experiments`], and every rendered exhibit ends in
+//! a data-quality footer describing how complete the underlying
+//! (possibly fault-degraded) campaign data was:
 //!
 //! | Id | Paper content |
 //! |---|---|
@@ -19,16 +25,26 @@
 //! | `fig5` | performance vs system intervention |
 //! | `calibration` | §5 reference kernels (240 Mflops matmul etc.) |
 //! | `iowait` | §7 extension: measured I/O-wait attribution |
+//! | `availability` | fault impact and measurement error vs a twin |
 //! | `summary` | headline statistics vs the paper |
 //!
 //! ```no_run
-//! use sp2_core::{experiments, Sp2System};
+//! use sp2_core::{experiments, Sp2Error, Sp2System};
 //!
-//! let mut system = Sp2System::builder().days(30).threads(0).build();
-//! let fig1 = system.dataset(experiments::experiment("fig1").unwrap());
-//! println!("{}", fig1.rendered);
+//! fn main() -> Result<(), Sp2Error> {
+//!     let mut system = Sp2System::builder().days(30).threads(0).faults(0.05).build();
+//!     let fig1 = system.dataset(experiments::experiment_or_err("fig1")?)?;
+//!     println!("{}", fig1.rendered);
+//!     Ok(())
+//! }
 //! ```
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod json;
@@ -36,8 +52,12 @@ pub mod plot;
 pub mod render;
 pub mod system;
 
-pub use experiments::{all_experiments, experiment, Dataset, Experiment, SelectionKind};
+pub use error::Sp2Error;
+pub use experiments::{
+    all_experiments, experiment, experiment_or_err, DataQuality, Dataset, Experiment,
+    ExperimentInput, SelectionKind,
+};
 pub use json::{Json, ToJson};
-pub use sp2_cluster::{CampaignResult, ClusterConfig};
+pub use sp2_cluster::{CampaignResult, ClusterConfig, FaultPlan, FaultSummary};
 pub use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
 pub use system::{Sp2System, Sp2SystemBuilder};

@@ -1,18 +1,27 @@
-//! System assembly and campaign caching.
+//! System assembly, campaign caching, and fault configuration.
 
-use crate::experiments::{Dataset, Experiment, SelectionKind};
-use sp2_cluster::{run_campaign_with_threads, run_replications, CampaignResult, ClusterConfig};
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
+use sp2_cluster::{
+    run_campaign_with_threads, run_replications, CampaignResult, ClusterConfig, FaultPlan,
+};
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 use std::collections::HashMap;
 
 /// Default seed for the measured workload library (the campaign year).
 const DEFAULT_LIBRARY_SEED: u64 = 1998;
 
+/// Default seed for the fault plan, deliberately distinct from the
+/// library and trace seeds so enabling faults perturbs nothing else.
+const DEFAULT_FAULT_SEED: u64 = 4_096;
+
 /// The assembled NAS SP2 measurement system.
 ///
 /// Owns the cluster configuration, the measured workload library, the
-/// job-mix model, and the campaign spec; lazily runs and caches one
-/// campaign per counter selection so all twelve experiments can share
+/// job-mix model, the campaign spec, and the fault configuration;
+/// lazily runs and caches one campaign per `(counter selection,
+/// faulted)` pair so all thirteen experiments — including the
+/// `availability` report, which needs a fault-free twin — can share
 /// simulations. Campaigns run on the parallel engine — `threads`
 /// controls the worker count, and results are bit-identical at any
 /// thread count.
@@ -22,11 +31,13 @@ pub struct Sp2System {
     mix: JobMix,
     spec: CampaignSpec,
     threads: usize,
-    campaigns: HashMap<SelectionKind, CampaignResult>,
+    fault_rate: f64,
+    fault_seed: u64,
+    campaigns: HashMap<(SelectionKind, bool), CampaignResult>,
 }
 
 /// Builder for [`Sp2System`]: the paper's configuration with any subset
-/// of knobs overridden. Replaces the old all-positional `custom()`.
+/// of knobs overridden.
 pub struct Sp2SystemBuilder {
     config: ClusterConfig,
     library: Option<WorkloadLibrary>,
@@ -34,6 +45,8 @@ pub struct Sp2SystemBuilder {
     mix: JobMix,
     spec: CampaignSpec,
     threads: usize,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 impl Default for Sp2SystemBuilder {
@@ -45,6 +58,8 @@ impl Default for Sp2SystemBuilder {
             mix: JobMix::nas(),
             spec: CampaignSpec::default(),
             threads: 1,
+            fault_rate: 0.0,
+            fault_seed: DEFAULT_FAULT_SEED,
         }
     }
 }
@@ -100,6 +115,20 @@ impl Sp2SystemBuilder {
         self
     }
 
+    /// Fault-injection rate (0.0 = fault-free, the default; 1.0 roughly
+    /// matches a troubled production month — see
+    /// [`sp2_cluster::FaultPlan::generate`]).
+    pub fn faults(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Seed for the fault plan (independent of the trace seed).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
     /// Assembles the system.
     pub fn build(self) -> Sp2System {
         let library = self
@@ -111,6 +140,8 @@ impl Sp2SystemBuilder {
             mix: self.mix,
             spec: self.spec,
             threads: self.threads,
+            fault_rate: self.fault_rate,
+            fault_seed: self.fault_seed,
             campaigns: HashMap::new(),
         }
     }
@@ -127,22 +158,6 @@ impl Sp2System {
     /// for quick runs).
     pub fn nas_1996(days: u32) -> Self {
         Sp2System::builder().days(days).build()
-    }
-
-    /// Builds a system with every component explicit (ablations).
-    #[deprecated(note = "use Sp2System::builder() — positional construction is error-prone")]
-    pub fn custom(
-        config: ClusterConfig,
-        library: WorkloadLibrary,
-        mix: JobMix,
-        spec: CampaignSpec,
-    ) -> Self {
-        Sp2System::builder()
-            .config(config)
-            .library(library)
-            .mix(mix)
-            .spec(spec)
-            .build()
     }
 
     /// The cluster configuration.
@@ -170,6 +185,39 @@ impl Sp2System {
         self.threads = threads;
     }
 
+    /// The configured fault-injection rate (0.0 = fault-free).
+    pub fn fault_rate(&self) -> f64 {
+        self.fault_rate
+    }
+
+    /// The fault-plan seed.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
+    }
+
+    /// Reconfigures fault injection and discards cached campaigns.
+    pub fn set_faults(&mut self, rate: f64, seed: u64) {
+        self.fault_rate = rate;
+        self.fault_seed = seed;
+        self.invalidate();
+    }
+
+    /// Whether campaigns run with fault injection.
+    pub fn faulted(&self) -> bool {
+        self.fault_rate > 0.0
+    }
+
+    /// The fault plan the configured knobs generate (empty when the rate
+    /// is zero).
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::generate(
+            self.config.nodes,
+            self.spec.days,
+            self.fault_rate,
+            self.fault_seed,
+        )
+    }
+
     /// The [`SelectionKind`] matching the system's own configuration, if
     /// any. The primary campaign is cached under this kind.
     fn own_kind(&self) -> Option<SelectionKind> {
@@ -179,52 +227,91 @@ impl Sp2System {
     }
 
     /// Runs (or returns the cached) campaign under the system's own
-    /// counter selection.
-    pub fn campaign(&mut self) -> &CampaignResult {
+    /// counter selection, with the configured faults.
+    pub fn campaign(&mut self) -> Result<&CampaignResult, Sp2Error> {
         let kind = self.own_kind().unwrap_or(SelectionKind::Nas);
-        self.campaign_with_selection(kind, true)
+        let faulted = self.faulted();
+        self.ensure_campaign(kind, true, faulted)?;
+        Ok(&self.campaigns[&(kind, faulted)])
     }
 
     /// Runs (or returns the cached) campaign under `kind`'s counter
-    /// selection, re-running the simulation with the selection swapped
-    /// if the system's own configuration watches different counters.
-    pub fn campaign_for(&mut self, kind: SelectionKind) -> &CampaignResult {
+    /// selection with the configured faults, re-running the simulation
+    /// with the selection swapped if the system's own configuration
+    /// watches different counters.
+    pub fn campaign_for(&mut self, kind: SelectionKind) -> Result<&CampaignResult, Sp2Error> {
         let own = self.own_kind() == Some(kind);
-        self.campaign_with_selection(kind, own)
+        let faulted = self.faulted();
+        self.ensure_campaign(kind, own, faulted)?;
+        Ok(&self.campaigns[&(kind, faulted)])
     }
 
-    fn campaign_with_selection(&mut self, kind: SelectionKind, own: bool) -> &CampaignResult {
-        if !self.campaigns.contains_key(&kind) {
-            let mut config = self.config.clone();
-            if !own {
-                config.selection = kind.selection();
-            }
-            let jobs = trace::generate(&self.spec, &self.mix, &self.library);
-            let result = run_campaign_with_threads(
-                &config,
-                &self.library,
-                &jobs,
-                self.spec.days,
-                self.threads,
-            );
-            self.campaigns.insert(kind, result);
+    /// Runs (or returns the cached) fault-free twin campaign under
+    /// `kind` — the same trace and seed with an empty fault plan.
+    pub fn baseline_for(&mut self, kind: SelectionKind) -> Result<&CampaignResult, Sp2Error> {
+        let own = self.own_kind() == Some(kind);
+        self.ensure_campaign(kind, own, false)?;
+        Ok(&self.campaigns[&(kind, false)])
+    }
+
+    fn ensure_campaign(
+        &mut self,
+        kind: SelectionKind,
+        own: bool,
+        faulted: bool,
+    ) -> Result<(), Sp2Error> {
+        if self.campaigns.contains_key(&(kind, faulted)) {
+            return Ok(());
         }
-        &self.campaigns[&kind]
-    }
-
-    /// Runs one experiment, providing whatever campaign it declares it
-    /// needs (none, the primary selection, or the io-aware selection).
-    pub fn dataset(&mut self, exp: &dyn Experiment) -> Dataset {
-        if exp.needs_campaign() {
-            exp.run(self.campaign_for(exp.selection()))
+        let mut config = self.config.clone();
+        if !own {
+            config.selection = kind.selection();
+        }
+        let jobs = trace::generate(&self.spec, &self.mix, &self.library);
+        let faults = if faulted {
+            self.fault_plan()
         } else {
-            let empty = CampaignResult::empty(self.config.machine, exp.selection().selection());
-            exp.run(&empty)
-        }
+            FaultPlan::none()
+        };
+        let result = run_campaign_with_threads(
+            &config,
+            &self.library,
+            &jobs,
+            self.spec.days,
+            self.threads,
+            &faults,
+        )?;
+        self.campaigns.insert((kind, faulted), result);
+        Ok(())
     }
 
-    /// Runs every registered experiment in presentation order.
-    pub fn run_all(&mut self) -> Vec<Dataset> {
+    /// Runs one experiment, providing whatever input it declares it
+    /// needs (no campaign, the primary or io-aware campaign, and a
+    /// fault-free twin for baseline-hungry experiments).
+    pub fn dataset(&mut self, exp: &dyn Experiment) -> Result<Dataset, Sp2Error> {
+        if !exp.needs_campaign() {
+            let empty = CampaignResult::empty(self.config.machine, exp.selection().selection());
+            return exp.run(ExperimentInput::of(&empty));
+        }
+        let kind = exp.selection();
+        let own = self.own_kind() == Some(kind);
+        let faulted = self.faulted();
+        self.ensure_campaign(kind, own, faulted)?;
+        if exp.needs_baseline() {
+            self.ensure_campaign(kind, own, false)?;
+        }
+        let campaign = &self.campaigns[&(kind, faulted)];
+        let input = if exp.needs_baseline() {
+            ExperimentInput::of(campaign).with_baseline(&self.campaigns[&(kind, false)])
+        } else {
+            ExperimentInput::of(campaign)
+        };
+        exp.run(input)
+    }
+
+    /// Runs every registered experiment in presentation order, stopping
+    /// at the first failure.
+    pub fn run_all(&mut self) -> Result<Vec<Dataset>, Sp2Error> {
         crate::experiments::all_experiments()
             .iter()
             .map(|e| self.dataset(*e))
@@ -232,16 +319,21 @@ impl Sp2System {
     }
 
     /// Runs `replications` seed-sharded copies of the campaign in
-    /// parallel (seeds `spec.seed + 0..replications`), returning them in
-    /// replication order regardless of scheduling.
-    pub fn replicated_campaigns(&self, replications: usize) -> Vec<CampaignResult> {
-        run_replications(
+    /// parallel (seeds `spec.seed + 0..replications`), each with the
+    /// configured fault plan, returning them in replication order
+    /// regardless of scheduling.
+    pub fn replicated_campaigns(
+        &self,
+        replications: usize,
+    ) -> Result<Vec<CampaignResult>, Sp2Error> {
+        Ok(run_replications(
             &self.config,
             &self.library,
             &self.mix,
             &self.spec,
             replications,
-        )
+            &self.fault_plan(),
+        )?)
     }
 
     /// Discards the cached campaigns (after changing the spec).
@@ -263,8 +355,8 @@ mod tests {
     #[test]
     fn campaign_is_cached() {
         let mut sys = Sp2System::nas_1996(2);
-        let a = sys.campaign().samples.len();
-        let b = sys.campaign().samples.len();
+        let a = sys.campaign().expect("campaign runs").samples.len();
+        let b = sys.campaign().expect("campaign runs").samples.len();
         assert_eq!(a, b);
         assert_eq!(a, 2 * 96 + 1);
     }
@@ -272,33 +364,45 @@ mod tests {
     #[test]
     fn invalidate_allows_respec() {
         let mut sys = Sp2System::nas_1996(1);
-        assert_eq!(sys.campaign().days, 1);
+        assert_eq!(sys.campaign().expect("campaign runs").days, 1);
         let spec = CampaignSpec {
             days: 2,
             ..*sys.spec()
         };
         sys.respec(spec);
-        assert_eq!(sys.campaign().days, 2);
+        assert_eq!(sys.campaign().expect("campaign runs").days, 2);
     }
 
     #[test]
     fn builder_overrides_compose() {
-        let mut sys = Sp2System::builder().days(1).seed(11).threads(2).build();
+        let mut sys = Sp2System::builder()
+            .days(1)
+            .seed(11)
+            .threads(2)
+            .faults(0.5)
+            .fault_seed(9)
+            .build();
         assert_eq!(sys.spec().days, 1);
         assert_eq!(sys.spec().seed, 11);
         assert_eq!(sys.threads(), 2);
-        assert_eq!(sys.campaign().days, 1);
+        assert_eq!(sys.fault_rate(), 0.5);
+        assert_eq!(sys.fault_seed(), 9);
+        assert!(sys.faulted());
+        assert_eq!(sys.campaign().expect("campaign runs").days, 1);
     }
 
     #[test]
     fn io_aware_campaign_cached_separately() {
         let mut sys = Sp2System::nas_1996(1);
-        let nas_samples = sys.campaign().samples.len();
-        let io = sys.campaign_for(crate::experiments::SelectionKind::IoAware);
+        let nas_samples = sys.campaign().expect("campaign runs").samples.len();
+        let io = sys
+            .campaign_for(crate::experiments::SelectionKind::IoAware)
+            .expect("campaign runs");
         assert!(io.selection.watches(sp2_hpm::Signal::IoWaitCycles));
         assert_eq!(io.samples.len(), nas_samples);
         assert!(!sys
             .campaign_for(crate::experiments::SelectionKind::Nas)
+            .expect("campaign runs")
             .selection
             .watches(sp2_hpm::Signal::IoWaitCycles));
     }
@@ -306,8 +410,51 @@ mod tests {
     #[test]
     fn dataset_dispatches_per_experiment_needs() {
         let mut sys = Sp2System::nas_1996(1);
-        let d = sys.dataset(crate::experiments::experiment("table1").unwrap());
+        let d = sys
+            .dataset(crate::experiments::experiment("table1").expect("registered"))
+            .expect("table1 runs");
         assert_eq!(d.id, "table1");
         assert!(d.rendered.contains("user.fxu0"));
+    }
+
+    #[test]
+    fn faulted_and_baseline_campaigns_cached_separately() {
+        let mut sys = Sp2System::builder()
+            .days(1)
+            .faults(2.0)
+            .fault_seed(5)
+            .build();
+        assert!(!sys.fault_plan().is_empty());
+        let faulted_samples = sys.campaign().expect("campaign runs").samples.len();
+        let baseline_samples = sys
+            .baseline_for(SelectionKind::Nas)
+            .expect("twin runs")
+            .samples
+            .len();
+        assert!(sys.campaign().expect("cached").faults.enabled);
+        assert!(
+            !sys.baseline_for(SelectionKind::Nas)
+                .expect("cached")
+                .faults
+                .enabled
+        );
+        assert!(
+            faulted_samples <= baseline_samples,
+            "missed sweeps can only shrink the sample count"
+        );
+    }
+
+    #[test]
+    fn zero_rate_baseline_is_the_campaign() {
+        let mut sys = Sp2System::builder().days(1).build();
+        assert!(sys.fault_plan().is_empty());
+        let a = sys.campaign().expect("campaign runs").samples.len();
+        let b = sys
+            .baseline_for(SelectionKind::Nas)
+            .expect("twin runs")
+            .samples
+            .len();
+        assert_eq!(a, b);
+        assert_eq!(sys.campaigns.len(), 1, "one cache entry serves both");
     }
 }

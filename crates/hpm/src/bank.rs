@@ -40,6 +40,23 @@ pub struct CounterSnapshot {
     pub system: Vec<u64>,
 }
 
+impl CounterSnapshot {
+    /// The reading a glitched collection pass would return: every counter
+    /// truncated to its 32-bit hardware register, as if the kernel
+    /// extension's 64-bit virtualization were bypassed for one read.
+    ///
+    /// Diffing such a reading against a healthy 64-bit baseline produces
+    /// a wrap-corrected delta near 2^64 — the counter-glitch anomaly the
+    /// collection daemon must detect and discard.
+    pub fn truncate_to_hardware(&self) -> CounterSnapshot {
+        let trunc = |v: &[u64]| -> Vec<u64> { v.iter().map(|&x| x as u32 as u64).collect() };
+        CounterSnapshot {
+            user: trunc(&self.user),
+            system: trunc(&self.system),
+        }
+    }
+}
+
 /// Wrap-aware difference between two snapshots, in events.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterDelta {
@@ -317,6 +334,20 @@ mod tests {
             system: vec![0; 4],
         };
         CounterDelta::between(&a, &b);
+    }
+
+    #[test]
+    fn truncate_to_hardware_keeps_low_32_bits() {
+        let s = CounterSnapshot {
+            user: vec![(5u64 << 32) | 77, 3],
+            system: vec![u64::MAX, 0],
+        };
+        let t = s.truncate_to_hardware();
+        assert_eq!(t.user, vec![77, 3]);
+        assert_eq!(t.system, vec![u32::MAX as u64, 0]);
+        // Diffing truncated-after against healthy-before wraps hugely.
+        let d = CounterDelta::between(&s, &t);
+        assert!(d.user[0] > 1 << 48, "glitch delta must be implausible");
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! - multipass sampling ([`sampling`]) for watching more signals than the
 //!   hardware has slots, as the RS2HPM tools did.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod bank;
 pub mod config;
 pub mod events;

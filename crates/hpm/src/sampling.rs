@@ -62,10 +62,16 @@ impl MultipassPlan {
                     uniq.push(s);
                 }
             }
+            let Ok(pass_selection) = CounterSelection::new(&uniq) else {
+                // Unreachable: the packing above takes at most `slots()`
+                // signals per group, so the selection always validates.
+                debug_assert!(false, "per-group packing respects budgets");
+                continue;
+            };
             for &s in &uniq {
                 *coverage.entry(s).or_insert(0) += 1;
             }
-            passes.push(CounterSelection::new(&uniq).expect("per-group packing respects budgets"));
+            passes.push(pass_selection);
         }
         MultipassPlan { passes, coverage }
     }

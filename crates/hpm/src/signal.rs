@@ -29,6 +29,17 @@ impl SignalGroup {
         }
     }
 
+    /// Position of this group in [`SignalGroup::ALL`] (canonical order).
+    pub fn ordinal(self) -> usize {
+        match self {
+            SignalGroup::Fxu => 0,
+            SignalGroup::Fpu0 => 1,
+            SignalGroup::Fpu1 => 2,
+            SignalGroup::Icu => 3,
+            SignalGroup::Scu => 4,
+        }
+    }
+
     /// All groups in canonical (Table 1) order.
     pub const ALL: [SignalGroup; 5] = [
         SignalGroup::Fxu,

@@ -345,7 +345,7 @@ impl KernelBuilder {
             routine_period: self.routine_period,
         };
         if let Err(e) = k.validate() {
-            panic!("builder produced an invalid kernel: {e}");
+            debug_assert!(false, "builder produced an invalid kernel: {e}");
         }
         k
     }

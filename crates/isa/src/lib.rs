@@ -21,6 +21,10 @@
 //! replays the body through its pipeline model, resolving each storage
 //! reference's virtual address from the named generator.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod builder;
 pub mod inst;
 pub mod kernel;

@@ -2,7 +2,31 @@
 
 use serde::{Deserialize, Serialize};
 
-/// One completed job, as the accounting log sees it.
+/// How a job left the machine, as the accounting log sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Killed because a node it occupied failed. `requeued` records
+    /// whether PBS put the job back at the head of the queue (a requeued
+    /// attempt appears as a separate record when it next runs).
+    NodeFailure {
+        /// Whether the job was requeued for another attempt.
+        requeued: bool,
+    },
+    /// Still running when the measurement campaign ended; the record is
+    /// clipped at the horizon.
+    Horizon,
+}
+
+impl JobOutcome {
+    /// Whether this record represents a successful run.
+    pub fn is_completed(self) -> bool {
+        matches!(self, JobOutcome::Completed)
+    }
+}
+
+/// One job attempt, as the accounting log sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
     /// Batch job id (submission order).
@@ -13,6 +37,8 @@ pub struct JobRecord {
     pub start: f64,
     /// End time, seconds.
     pub end: f64,
+    /// How the attempt ended.
+    pub outcome: JobOutcome,
 }
 
 impl JobRecord {
@@ -76,6 +102,7 @@ mod tests {
             nodes,
             start,
             end,
+            outcome: JobOutcome::Completed,
         }
     }
 

@@ -48,6 +48,14 @@ pub enum JobState {
         /// End time, seconds.
         end: f64,
     },
+    /// Killed before completion (node failure or operator `qdel`). A
+    /// killed job may reappear as `Queued` if the runtime requeues it.
+    Killed {
+        /// Start time, seconds.
+        start: f64,
+        /// Kill time, seconds.
+        end: f64,
+    },
 }
 
 #[cfg(test)]

@@ -18,10 +18,17 @@
 //! - **Accounting** ([`accounting`]): job records drive Figure 2's
 //!   walltime histogram and the utilization series.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod accounting;
+pub mod error;
 pub mod job;
 pub mod scheduler;
 
-pub use accounting::{utilization, walltime_histogram, JobRecord};
+pub use accounting::{utilization, walltime_histogram, JobOutcome, JobRecord};
+pub use error::PbsError;
 pub use job::{JobId, JobSpec, JobState};
 pub use scheduler::{Pbs, StartedJob};

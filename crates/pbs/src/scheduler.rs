@@ -1,5 +1,6 @@
 //! The PBS scheduler: FCFS with backfill and drain-for-large-jobs.
 
+use crate::error::PbsError;
 use crate::job::{JobId, JobSpec, JobState};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -26,16 +27,20 @@ pub struct StartedJob {
 ///     nodes: 16,
 ///     requested_walltime_s: 3_600.0,
 ///     payload: 0,
-/// });
+/// })
+/// .unwrap();
 /// let started = pbs.schedule(0.0);
 /// assert_eq!(started[0].nodes.len(), 16);
-/// pbs.finish(JobId(1), 3_600.0);
+/// pbs.finish(JobId(1), 3_600.0).unwrap();
 /// assert_eq!(pbs.free_nodes(), 144);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pbs {
     /// `Some(job)` when the node is dedicated to that job.
     node_owner: Vec<Option<JobId>>,
+    /// Nodes the operator (or a failure) removed from service; offline
+    /// nodes are never allocated.
+    offline: Vec<bool>,
     queue: VecDeque<JobSpec>,
     running: HashMap<JobId, StartedJob>,
     states: HashMap<JobId, JobState>,
@@ -51,6 +56,7 @@ impl Pbs {
     pub fn new(nodes: usize) -> Self {
         Pbs {
             node_owner: vec![None; nodes],
+            offline: vec![false; nodes],
             queue: VecDeque::new(),
             running: HashMap::new(),
             states: HashMap::new(),
@@ -70,14 +76,23 @@ impl Pbs {
         self.node_owner.len()
     }
 
-    /// Nodes currently idle.
+    /// Nodes currently idle and in service (allocatable).
     pub fn free_nodes(&self) -> usize {
-        self.node_owner.iter().filter(|o| o.is_none()).count()
+        self.node_owner
+            .iter()
+            .zip(&self.offline)
+            .filter(|(o, &off)| o.is_none() && !off)
+            .count()
     }
 
     /// Nodes currently dedicated to jobs.
     pub fn busy_nodes(&self) -> usize {
-        self.node_count() - self.free_nodes()
+        self.node_owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Nodes currently in service (online), busy or free.
+    pub fn online_nodes(&self) -> usize {
+        self.offline.iter().filter(|&&off| !off).count()
     }
 
     /// Jobs waiting in the queue.
@@ -95,19 +110,30 @@ impl Pbs {
         self.states.get(&id)
     }
 
-    /// Submits a job to the queue.
-    ///
-    /// # Panics
-    /// Panics if the job requests zero nodes or more nodes than exist —
-    /// PBS rejects such submissions outright.
-    pub fn submit(&mut self, spec: JobSpec) {
-        assert!(spec.nodes >= 1, "jobs request at least one node");
-        assert!(
-            spec.nodes as usize <= self.node_count(),
-            "job requests more nodes than the machine has"
-        );
+    /// Submits a job to the queue. Rejects requests for zero nodes or
+    /// for more nodes than the machine has (even offline ones — outages
+    /// are transient, so such jobs wait rather than bounce).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), PbsError> {
+        if spec.nodes == 0 {
+            return Err(PbsError::ZeroNodeRequest { id: spec.id });
+        }
+        if spec.nodes as usize > self.node_count() {
+            return Err(PbsError::OversizedRequest {
+                id: spec.id,
+                requested: spec.nodes,
+                machine: self.node_count(),
+            });
+        }
         self.states.insert(spec.id, JobState::Queued);
         self.queue.push_back(spec);
+        Ok(())
+    }
+
+    /// Puts a killed job's spec back at the head of the queue (the
+    /// requeue-on-node-failure path; it retries before new arrivals).
+    pub fn requeue(&mut self, spec: JobSpec) {
+        self.states.insert(spec.id, JobState::Queued);
+        self.queue.push_front(spec);
     }
 
     fn allocate(&mut self, n: u32) -> Option<Vec<usize>> {
@@ -115,10 +141,25 @@ impl Pbs {
             .node_owner
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .filter_map(|(i, o)| (o.is_none() && !self.offline[i]).then_some(i))
             .take(n as usize)
             .collect();
         (free.len() == n as usize).then_some(free)
+    }
+
+    fn start(&mut self, spec: JobSpec, nodes: Vec<usize>, now: f64) -> StartedJob {
+        for &n in &nodes {
+            self.node_owner[n] = Some(spec.id);
+        }
+        let job = StartedJob {
+            spec,
+            nodes: nodes.clone(),
+            start: now,
+        };
+        self.states
+            .insert(job.spec.id, JobState::Running { start: now, nodes });
+        self.running.insert(job.spec.id, job.clone());
+        job
     }
 
     /// Runs one scheduling pass at time `now`, starting every job the
@@ -132,23 +173,21 @@ impl Pbs {
         let mut started = Vec::new();
         // Phase 1: start from the head while possible.
         while let Some(head) = self.queue.front() {
-            if head.nodes as usize <= self.free_nodes() {
-                let spec = self.queue.pop_front().unwrap();
-                let nodes = self.allocate(spec.nodes).expect("checked: enough free");
-                for &n in &nodes {
-                    self.node_owner[n] = Some(spec.id);
-                }
-                let job = StartedJob {
-                    spec,
-                    nodes: nodes.clone(),
-                    start: now,
-                };
-                self.states
-                    .insert(job.spec.id, JobState::Running { start: now, nodes });
-                self.running.insert(job.spec.id, job.clone());
-                started.push(job);
-            } else {
+            if head.nodes as usize > self.free_nodes() {
                 break;
+            }
+            let Some(spec) = self.queue.pop_front() else {
+                break;
+            };
+            match self.allocate(spec.nodes) {
+                Some(nodes) => started.push(self.start(spec, nodes, now)),
+                None => {
+                    // free_nodes() said it fits; allocate() cannot
+                    // disagree, but restore the queue rather than panic.
+                    debug_assert!(false, "allocate disagreed with free_nodes");
+                    self.queue.push_front(spec);
+                    break;
+                }
             }
         }
         // Phase 2: head blocked. Drain for large jobs, else backfill.
@@ -158,21 +197,16 @@ impl Pbs {
                 while i < self.queue.len().min(1 + self.backfill_depth) {
                     let fits = self.queue[i].nodes as usize <= self.free_nodes();
                     if fits {
-                        let spec = self.queue.remove(i).unwrap();
-                        let nodes = self.allocate(spec.nodes).expect("checked: fits");
-                        for &n in &nodes {
-                            self.node_owner[n] = Some(spec.id);
+                        if let Some(spec) = self.queue.remove(i) {
+                            if let Some(nodes) = self.allocate(spec.nodes) {
+                                started.push(self.start(spec, nodes, now));
+                                // Do not advance: removal shifted the queue.
+                                continue;
+                            }
+                            debug_assert!(false, "allocate disagreed with free_nodes");
+                            self.queue.insert(i, spec);
                         }
-                        let job = StartedJob {
-                            spec,
-                            nodes: nodes.clone(),
-                            start: now,
-                        };
-                        self.states
-                            .insert(job.spec.id, JobState::Running { start: now, nodes });
-                        self.running.insert(job.spec.id, job.clone());
-                        started.push(job);
-                        // Do not advance: removal shifted the queue.
+                        i += 1;
                     } else {
                         i += 1;
                     }
@@ -182,28 +216,57 @@ impl Pbs {
         started
     }
 
-    /// Completes a running job at time `now`, freeing its nodes and
-    /// returning its record data (epilogue hook payload).
-    ///
-    /// # Panics
-    /// Panics if the job is not running.
-    pub fn finish(&mut self, id: JobId, now: f64) -> StartedJob {
-        let job = self
-            .running
-            .remove(&id)
-            .unwrap_or_else(|| panic!("finish() on non-running job {id:?}"));
+    fn release(&mut self, id: JobId, now: f64, killed: bool) -> Result<StartedJob, PbsError> {
+        let Some(job) = self.running.remove(&id) else {
+            return Err(PbsError::NotRunning { id });
+        };
         for &n in &job.nodes {
             debug_assert_eq!(self.node_owner[n], Some(id));
             self.node_owner[n] = None;
         }
-        self.states.insert(
-            id,
+        let state = if killed {
+            JobState::Killed {
+                start: job.start,
+                end: now,
+            }
+        } else {
             JobState::Done {
                 start: job.start,
                 end: now,
-            },
-        );
-        job
+            }
+        };
+        self.states.insert(id, state);
+        Ok(job)
+    }
+
+    /// Completes a running job at time `now`, freeing its nodes and
+    /// returning its record data (epilogue hook payload).
+    pub fn finish(&mut self, id: JobId, now: f64) -> Result<StartedJob, PbsError> {
+        self.release(id, now, false)
+    }
+
+    /// Kills a running job at time `now` (node failure or operator
+    /// `qdel`), freeing its nodes. No epilogue runs for killed jobs.
+    pub fn kill(&mut self, id: JobId, now: f64) -> Result<StartedJob, PbsError> {
+        self.release(id, now, true)
+    }
+
+    /// Takes a node out of service (failure or maintenance). Returns the
+    /// job occupying it, if any — the caller decides whether to kill or
+    /// requeue that job; until then the node stays assigned to it.
+    pub fn take_node_offline(&mut self, node: usize) -> Option<JobId> {
+        self.offline[node] = true;
+        self.node_owner[node]
+    }
+
+    /// Returns a repaired node to service.
+    pub fn bring_node_online(&mut self, node: usize) {
+        self.offline[node] = false;
+    }
+
+    /// Whether a node is currently out of service.
+    pub fn is_offline(&self, node: usize) -> bool {
+        self.offline[node]
     }
 }
 
@@ -223,8 +286,8 @@ mod tests {
     #[test]
     fn fcfs_start_and_finish() {
         let mut pbs = Pbs::new(8);
-        pbs.submit(spec(1, 4));
-        pbs.submit(spec(2, 4));
+        pbs.submit(spec(1, 4)).unwrap();
+        pbs.submit(spec(2, 4)).unwrap();
         let started = pbs.schedule(0.0);
         assert_eq!(started.len(), 2);
         assert_eq!(pbs.free_nodes(), 0);
@@ -232,7 +295,7 @@ mod tests {
             pbs.state(JobId(1)),
             Some(JobState::Running { .. })
         ));
-        let rec = pbs.finish(JobId(1), 100.0);
+        let rec = pbs.finish(JobId(1), 100.0).unwrap();
         assert_eq!(rec.nodes.len(), 4);
         assert_eq!(pbs.free_nodes(), 4);
         assert!(matches!(
@@ -244,12 +307,12 @@ mod tests {
     #[test]
     fn nodes_are_dedicated() {
         let mut pbs = Pbs::new(4);
-        pbs.submit(spec(1, 3));
-        pbs.submit(spec(2, 2));
+        pbs.submit(spec(1, 3)).unwrap();
+        pbs.submit(spec(2, 2)).unwrap();
         let started = pbs.schedule(0.0);
         assert_eq!(started.len(), 1, "only 1 node left for the 2-node job");
         // Node sets must be disjoint once job 2 eventually starts.
-        pbs.finish(JobId(1), 10.0);
+        pbs.finish(JobId(1), 10.0).unwrap();
         let started2 = pbs.schedule(10.0);
         assert_eq!(started2.len(), 1);
         assert_eq!(pbs.busy_nodes(), 2);
@@ -258,12 +321,12 @@ mod tests {
     #[test]
     fn backfill_lets_small_jobs_pass_a_blocked_medium_head() {
         let mut pbs = Pbs::new(8);
-        pbs.submit(spec(1, 8)); // will run
-        pbs.submit(spec(2, 6)); // blocked head (≤ 64: no drain)
-        pbs.submit(spec(3, 2)); // backfills? No free nodes at all.
+        pbs.submit(spec(1, 8)).unwrap(); // will run
+        pbs.submit(spec(2, 6)).unwrap(); // blocked head (≤ 64: no drain)
+        pbs.submit(spec(3, 2)).unwrap(); // backfills? No free nodes at all.
         pbs.schedule(0.0);
         assert_eq!(pbs.running(), 1);
-        pbs.finish(JobId(1), 50.0);
+        pbs.finish(JobId(1), 50.0).unwrap();
         // 8 free; head (6) starts, then 3 backfills into remaining 2.
         let started = pbs.schedule(50.0);
         assert_eq!(started.len(), 2);
@@ -272,9 +335,9 @@ mod tests {
     #[test]
     fn backfill_when_head_blocked_but_small_fits() {
         let mut pbs = Pbs::new(8);
-        pbs.submit(spec(1, 5));
-        pbs.submit(spec(2, 6)); // can't fit beside job 1
-        pbs.submit(spec(3, 3)); // fits in the 3 leftover nodes
+        pbs.submit(spec(1, 5)).unwrap();
+        pbs.submit(spec(2, 6)).unwrap(); // can't fit beside job 1
+        pbs.submit(spec(3, 3)).unwrap(); // fits in the 3 leftover nodes
         let started = pbs.schedule(0.0);
         let ids: Vec<u64> = started.iter().map(|s| s.spec.id.0).collect();
         assert_eq!(ids, vec![1, 3], "3 backfilled past blocked 2");
@@ -283,13 +346,13 @@ mod tests {
     #[test]
     fn large_jobs_drain_the_queue() {
         let mut pbs = Pbs::new(144);
-        pbs.submit(spec(1, 100));
+        pbs.submit(spec(1, 100)).unwrap();
         pbs.schedule(0.0);
-        pbs.submit(spec(2, 128)); // > 64: drain when blocked
-        pbs.submit(spec(3, 4)); // would fit, but drain forbids backfill
+        pbs.submit(spec(2, 128)).unwrap(); // > 64: drain when blocked
+        pbs.submit(spec(3, 4)).unwrap(); // would fit, but drain forbids backfill
         let started = pbs.schedule(1.0);
         assert!(started.is_empty(), "drain mode must not backfill");
-        pbs.finish(JobId(1), 2.0);
+        pbs.finish(JobId(1), 2.0).unwrap();
         let started = pbs.schedule(2.0);
         assert_eq!(
             started.len(),
@@ -302,46 +365,106 @@ mod tests {
     #[test]
     fn drain_threshold_ablation() {
         let mut pbs = Pbs::new(144).with_drain_threshold(144);
-        pbs.submit(spec(1, 100));
+        pbs.submit(spec(1, 100)).unwrap();
         pbs.schedule(0.0);
-        pbs.submit(spec(2, 128));
-        pbs.submit(spec(3, 4));
+        pbs.submit(spec(2, 128)).unwrap();
+        pbs.submit(spec(3, 4)).unwrap();
         let started = pbs.schedule(1.0);
         assert_eq!(started.len(), 1, "without drain the small job backfills");
         assert_eq!(started[0].spec.id, JobId(3));
     }
 
     #[test]
-    #[should_panic(expected = "more nodes than the machine has")]
     fn oversized_submission_rejected() {
         let mut pbs = Pbs::new(4);
-        pbs.submit(spec(1, 5));
+        assert_eq!(
+            pbs.submit(spec(1, 5)),
+            Err(PbsError::OversizedRequest {
+                id: JobId(1),
+                requested: 5,
+                machine: 4
+            })
+        );
+        assert_eq!(pbs.queued(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
     fn zero_node_submission_rejected() {
         let mut pbs = Pbs::new(4);
-        pbs.submit(spec(1, 0));
+        assert_eq!(
+            pbs.submit(spec(1, 0)),
+            Err(PbsError::ZeroNodeRequest { id: JobId(1) })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "non-running job")]
-    fn finishing_unknown_job_panics() {
+    fn finishing_unknown_job_is_an_error() {
         let mut pbs = Pbs::new(4);
-        pbs.finish(JobId(99), 0.0);
+        assert_eq!(
+            pbs.finish(JobId(99), 0.0),
+            Err(PbsError::NotRunning { id: JobId(99) })
+        );
     }
 
     #[test]
     fn queue_depth_reporting() {
         let mut pbs = Pbs::new(2);
-        pbs.submit(spec(1, 2));
-        pbs.submit(spec(2, 2));
-        pbs.submit(spec(3, 2));
+        pbs.submit(spec(1, 2)).unwrap();
+        pbs.submit(spec(2, 2)).unwrap();
+        pbs.submit(spec(3, 2)).unwrap();
         assert_eq!(pbs.queued(), 3);
         pbs.schedule(0.0);
         assert_eq!(pbs.queued(), 2);
         assert_eq!(pbs.running(), 1);
+    }
+
+    #[test]
+    fn offline_nodes_never_allocated() {
+        let mut pbs = Pbs::new(4);
+        assert_eq!(pbs.take_node_offline(0), None);
+        assert_eq!(pbs.take_node_offline(1), None);
+        assert_eq!(pbs.free_nodes(), 2);
+        assert_eq!(pbs.online_nodes(), 2);
+        pbs.submit(spec(1, 3)).unwrap();
+        assert!(pbs.schedule(0.0).is_empty(), "only 2 nodes in service");
+        pbs.bring_node_online(0);
+        let started = pbs.schedule(1.0);
+        assert_eq!(started.len(), 1);
+        assert!(!started[0].nodes.contains(&1), "node 1 still offline");
+    }
+
+    #[test]
+    fn node_failure_kill_and_requeue_cycle() {
+        let mut pbs = Pbs::new(4);
+        pbs.submit(spec(7, 2)).unwrap();
+        let started = pbs.schedule(0.0);
+        let victim = started[0].nodes[0];
+        // The node fails mid-job: PBS reports the occupant.
+        assert_eq!(pbs.take_node_offline(victim), Some(JobId(7)));
+        let killed = pbs.kill(JobId(7), 10.0).unwrap();
+        assert_eq!(killed.spec.id, JobId(7));
+        assert!(matches!(
+            pbs.state(JobId(7)),
+            Some(JobState::Killed { end, .. }) if *end == 10.0
+        ));
+        // Requeue: the job retries on the surviving nodes.
+        pbs.requeue(killed.spec);
+        let restarted = pbs.schedule(11.0);
+        assert_eq!(restarted.len(), 1);
+        assert!(!restarted[0].nodes.contains(&victim));
+        assert!(matches!(
+            pbs.state(JobId(7)),
+            Some(JobState::Running { .. })
+        ));
+    }
+
+    #[test]
+    fn failing_idle_node_reports_no_job() {
+        let mut pbs = Pbs::new(2);
+        assert_eq!(pbs.take_node_offline(1), None);
+        assert!(pbs.is_offline(1));
+        pbs.bring_node_online(1);
+        assert!(!pbs.is_offline(1));
     }
 }
 
@@ -384,12 +507,12 @@ mod proptests {
                             nodes: nodes.min(64),
                             requested_walltime_s: 100.0,
                             payload: 0,
-                        });
+                        }).unwrap();
                     }
                     // Finish the oldest running job.
                     2 => {
                         if let Some(&id) = running.keys().min() {
-                            let job = pbs.finish(id, t);
+                            let job = pbs.finish(id, t).unwrap();
                             for n in &job.nodes {
                                 prop_assert_eq!(seen_nodes.remove(n), Some(id));
                             }
@@ -425,7 +548,7 @@ mod proptests {
                     nodes: 8,
                     requested_walltime_s: 10.0,
                     payload: 0,
-                });
+                }).unwrap();
             }
             let mut started_order = Vec::new();
             let mut t = 0.0;
@@ -435,11 +558,57 @@ mod proptests {
                     started_order.push(s.spec.id.0);
                 }
                 if let Some(&last) = started_order.last() {
-                    pbs.finish(JobId(last), t + 0.5);
+                    pbs.finish(JobId(last), t + 0.5).unwrap();
                 }
             }
             let expected: Vec<u64> = (0..n_jobs as u64).collect();
             prop_assert_eq!(started_order, expected);
+        }
+
+        /// Node failures and repairs never break allocation invariants:
+        /// offline nodes are never handed out, and online+offline = total.
+        #[test]
+        fn failures_never_violate_allocation(
+            ops in prop::collection::vec((0usize..16, 0u8..5), 1..80)
+        ) {
+            let mut pbs = Pbs::new(16);
+            let mut next_id = 0u64;
+            let mut t = 0.0;
+            let mut offline = [false; 16];
+            for (node, action) in ops {
+                t += 1.0;
+                match action {
+                    0 | 1 => {
+                        next_id += 1;
+                        pbs.submit(JobSpec {
+                            id: JobId(next_id),
+                            nodes: (node as u32 % 8) + 1,
+                            requested_walltime_s: 100.0,
+                            payload: 0,
+                        }).unwrap();
+                    }
+                    2 => {
+                        if let Some(victim) = pbs.take_node_offline(node) {
+                            pbs.kill(victim, t).unwrap();
+                        }
+                        offline[node] = true;
+                    }
+                    3 => {
+                        pbs.bring_node_online(node);
+                        offline[node] = false;
+                    }
+                    _ => {}
+                }
+                for started in pbs.schedule(t) {
+                    for &n in &started.nodes {
+                        prop_assert!(!offline[n], "offline node {n} allocated");
+                    }
+                }
+                prop_assert_eq!(
+                    pbs.online_nodes(),
+                    offline.iter().filter(|&&o| !o).count()
+                );
+            }
         }
     }
 }

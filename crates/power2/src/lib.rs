@@ -29,6 +29,10 @@
 //! per-iteration event/cycle rates so the cluster simulation can replay
 //! nine months of workload without cycle-simulating 10¹⁷ cycles.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod cache;
 pub mod config;
 pub mod handler;

@@ -318,8 +318,13 @@ impl Node {
         let done;
         if fx.is_memory() {
             events.bump(Signal::StorageRefs, 1);
-            let addr =
-                gens[inst.mem_slot.expect("validated: memory op has slot") as usize].next_addr();
+            // Validation guarantees memory ops carry a slot; degrade to
+            // slot 0 rather than aborting a campaign mid-flight.
+            let slot = inst.mem_slot.unwrap_or_else(|| {
+                debug_assert!(false, "validated kernel: memory op carries a slot");
+                0
+            });
+            let addr = gens[slot as usize].next_addr();
             let is_store = fx.is_store();
 
             let mut penalty = 0;

@@ -15,6 +15,15 @@ use sp2_hpm::{CounterDelta, CounterSelection, CounterSnapshot};
 /// The cron cadence: 15 minutes.
 pub const SAMPLE_INTERVAL_S: f64 = 900.0;
 
+/// Largest per-interval count a 66 MHz node could plausibly produce.
+///
+/// A POWER2 node generates well under 2^35 events in 15 minutes; a delta
+/// above 2^48 can only come from a corrupted read (e.g. a snapshot
+/// truncated to the 32-bit hardware registers, whose wrap-corrected delta
+/// lands near 2^64). The real collection scripts applied the same kind of
+/// sanity filter before archiving.
+pub const PLAUSIBLE_DELTA_MAX: u64 = 1 << 48;
+
 /// Where the daemon reads counters from (the cluster implements this).
 pub trait CounterSource {
     /// Number of nodes in the machine.
@@ -33,10 +42,33 @@ pub struct SystemSample {
     pub t: f64,
     /// Nodes that contributed.
     pub nodes_sampled: usize,
+    /// Nodes in the machine (the denominator of coverage).
+    pub nodes_total: usize,
+    /// Per-node deltas discarded this pass as implausible (counter
+    /// glitches; see [`PLAUSIBLE_DELTA_MAX`]).
+    pub anomalies: usize,
     /// Sum of all contributing nodes' deltas since the previous sample.
     pub total: CounterDelta,
     /// Machine-wide rates over the interval (sum over nodes).
     pub rates: RateReport,
+}
+
+impl SystemSample {
+    /// Fraction of the machine that contributed to this sample, in
+    /// `[0, 1]`. Exactly `1.0` when every node was sampled.
+    pub fn coverage(&self) -> f64 {
+        if self.nodes_total == 0 {
+            0.0
+        } else {
+            self.nodes_sampled as f64 / self.nodes_total as f64
+        }
+    }
+
+    /// Whether any node failed to contribute (outage, fresh baseline, or
+    /// discarded anomaly).
+    pub fn has_gap(&self) -> bool {
+        self.nodes_sampled < self.nodes_total
+    }
 }
 
 /// The collection daemon: holds the previous snapshot per node.
@@ -91,6 +123,7 @@ impl Daemon {
         let n_slots = self.selection.len();
         let mut total = CounterDelta::zero(n_slots);
         let mut nodes_sampled = 0;
+        let mut anomalies = 0;
         for (node, snap) in snapshots.iter().enumerate() {
             let Some(snap) = snap else {
                 self.prev[node] = None;
@@ -98,10 +131,20 @@ impl Daemon {
             };
             if let Some(prev) = &self.prev[node] {
                 let d = CounterDelta::between(prev, snap);
-                total.accumulate(&d);
-                nodes_sampled += 1;
+                if delta_plausible(&d) {
+                    total.accumulate(&d);
+                    nodes_sampled += 1;
+                    self.prev[node] = Some(snap.clone());
+                } else {
+                    // A corrupted read: drop the delta, count the anomaly,
+                    // and discard the baseline so the node re-baselines
+                    // from a clean snapshot next pass.
+                    anomalies += 1;
+                    self.prev[node] = None;
+                }
+            } else {
+                self.prev[node] = Some(snap.clone());
             }
-            self.prev[node] = Some(snap.clone());
         }
         let interval = self
             .samples
@@ -110,18 +153,35 @@ impl Daemon {
             .unwrap_or(SAMPLE_INTERVAL_S)
             .max(1e-9);
         let rates = RateReport::from_delta(&self.selection, &total, interval);
+        let idx = self.samples.len();
         self.samples.push(SystemSample {
             t,
             nodes_sampled,
+            nodes_total: self.prev.len(),
+            anomalies,
             total,
             rates,
         });
-        self.samples.last().unwrap()
+        &self.samples[idx]
+    }
+
+    /// Simulates a daemon restart: every per-node baseline is lost, so
+    /// the next pass only re-baselines (contributing no deltas), exactly
+    /// like the first pass after boot.
+    pub fn restart(&mut self) {
+        for p in &mut self.prev {
+            *p = None;
+        }
     }
 
     /// All samples collected so far.
     pub fn samples(&self) -> &[SystemSample] {
         &self.samples
+    }
+
+    /// Total anomalous (discarded) per-node deltas across all samples.
+    pub fn total_anomalies(&self) -> usize {
+        self.samples.iter().map(|s| s.anomalies).sum()
     }
 
     /// The maximum per-sample machine Mflops — the paper's "maximum
@@ -132,6 +192,16 @@ impl Daemon {
             .map(|s| s.rates.mflops)
             .fold(0.0, f64::max)
     }
+}
+
+/// Whether every slot of a wrap-corrected delta is below the plausibility
+/// bound. Clean campaigns sit many orders of magnitude under the limit,
+/// so this filter is behavior-neutral for fault-free data.
+fn delta_plausible(d: &CounterDelta) -> bool {
+    d.user
+        .iter()
+        .chain(d.system.iter())
+        .all(|&v| v <= PLAUSIBLE_DELTA_MAX)
 }
 
 #[cfg(test)]
@@ -238,6 +308,67 @@ mod tests {
     fn collect_batch_rejects_short_batches() {
         let mut d = Daemon::new(nas_selection(), 3);
         d.collect_batch(&[None], 0.0);
+    }
+
+    #[test]
+    fn coverage_and_gap_flags() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!(s.nodes_total, 3);
+        assert_eq!(s.coverage(), 1.0);
+        assert!(!s.has_gap());
+        toy.down[1] = true;
+        let s = d.collect(&toy, 1800.0).clone();
+        assert_eq!(s.nodes_sampled, 2);
+        assert!(s.has_gap());
+        assert!((s.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glitched_snapshot_detected_and_rebaselined() {
+        let mut toy = Toy::new();
+        // Push node 0 past u32::MAX so truncation wraps the delta.
+        toy.work(0, 5_000_000_000);
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        // Glitch: node 0's snapshot loses its high 32 bits this pass.
+        let snaps: Vec<Option<CounterSnapshot>> = (0..3)
+            .map(|n| {
+                let s = toy.snapshot(n);
+                Some(if n == 0 { s.truncate_to_hardware() } else { s })
+            })
+            .collect();
+        let s = d.collect_batch(&snaps, 900.0).clone();
+        assert_eq!(s.anomalies, 1, "wrapped delta discarded");
+        assert_eq!(s.nodes_sampled, 2, "glitched node does not contribute");
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], 0, "garbage never reaches the total");
+        // Recovery: one clean pass re-baselines, the next contributes.
+        let s = d.collect(&toy, 1800.0).clone();
+        assert_eq!(s.nodes_sampled, 2);
+        toy.work(0, 25);
+        let s = d.collect(&toy, 2700.0).clone();
+        assert_eq!(s.nodes_sampled, 3);
+        assert_eq!(s.total.user[slot], 25);
+        assert_eq!(d.total_anomalies(), 1);
+    }
+
+    #[test]
+    fn restart_loses_all_baselines() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        d.restart();
+        toy.work(0, 50);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!(s.nodes_sampled, 0, "restart lost every baseline");
+        toy.work(1, 30);
+        let s = d.collect(&toy, 1800.0).clone();
+        assert_eq!(s.nodes_sampled, 3);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], 30, "pre-restart work on node 0 lost");
     }
 
     #[test]

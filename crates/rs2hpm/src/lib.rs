@@ -16,13 +16,18 @@
 //! - [`jobreport`] — the PBS prologue/epilogue path: per-job counter
 //!   deltas over exactly the job's nodes and residency window.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod daemon;
 pub mod jobreport;
 pub mod rates;
 pub mod session;
 pub mod textfmt;
 
-pub use daemon::{CounterSource, Daemon, SystemSample, SAMPLE_INTERVAL_S};
+pub use daemon::{CounterSource, Daemon, SystemSample, PLAUSIBLE_DELTA_MAX, SAMPLE_INTERVAL_S};
 pub use jobreport::JobCounterReport;
 pub use rates::RateReport;
 pub use session::CounterSession;

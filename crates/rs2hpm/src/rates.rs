@@ -216,6 +216,22 @@ impl RateReport {
         self.cache_miss_ratio() * dcache_penalty + self.tlb_miss_ratio() * tlb_penalty
     }
 
+    /// Extrapolates machine-wide rates from a partial-coverage sample:
+    /// with `coverage` ∈ (0, 1) the observed sums cover only that
+    /// fraction of the nodes, so rates scale by `1 / coverage` under the
+    /// assumption that unsampled nodes behaved like sampled ones.
+    ///
+    /// At full coverage (or degenerate coverage ≤ 0) the report is
+    /// returned unchanged — bit-identical, so fault-free campaigns are
+    /// unaffected by the correction.
+    pub fn extrapolated(&self, coverage: f64) -> RateReport {
+        if coverage > 0.0 && coverage < 1.0 {
+            self.scaled(1.0 / coverage)
+        } else {
+            *self
+        }
+    }
+
     /// Scales every rate by a constant (e.g. 144 nodes → system rates).
     pub fn scaled(&self, k: f64) -> RateReport {
         RateReport {
@@ -350,6 +366,17 @@ mod tests {
         let r = RateReport::from_delta(&sel, &d, 1.0).scaled(144.0);
         // 17.4 Mflops x 144 ≈ 2.5 Gflops (the paper's good-day average).
         assert!((r.mflops / 1000.0 - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn extrapolation_corrects_partial_coverage() {
+        let (sel, d) = delta_of(&table3_like_events(), &EventSet::new());
+        let r = RateReport::from_delta(&sel, &d, 1.0);
+        let half = r.extrapolated(0.5);
+        assert!((half.mflops - 2.0 * r.mflops).abs() < 1e-12);
+        // Full coverage must be bit-identical, not just approximately equal.
+        assert_eq!(r.extrapolated(1.0).mflops.to_bits(), r.mflops.to_bits());
+        assert_eq!(r.extrapolated(0.0).mips.to_bits(), r.mips.to_bits());
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Histogram {
     /// Top `k` categories by weight, heaviest first.
     pub fn top_k(&self, k: usize) -> Vec<(usize, f64)> {
         let mut v: Vec<(usize, f64)> = self.nonzero().collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }

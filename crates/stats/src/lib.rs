@@ -8,13 +8,20 @@
 //! deterministic, allocation-conscious implementations shared by the
 //! analysis and bench crates.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod binned;
+pub mod coverage;
 pub mod histogram;
 pub mod moving;
 pub mod series;
 pub mod summary;
 
 pub use binned::BinnedScatter;
+pub use coverage::{coverage_weighted_mean, Coverage};
 pub use histogram::Histogram;
 pub use moving::{
     centered_moving_average, exp_moving_average, linear_trend_slope, trailing_moving_average,

@@ -14,6 +14,10 @@
 //! (Table 3's I/O rows, the 1.3 MB/s ≈ 4 % of bandwidth analysis) come
 //! out of the same counting rule the hardware used.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod dma;
 pub mod hps;
 pub mod message;

@@ -21,6 +21,10 @@
 //!   families (the 16-node mode of Figure 2).
 //! - [`trace`] — the 270-day submission trace of the measured campaign.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod jobmix;
 pub mod kernels;
 pub mod library;

@@ -229,7 +229,7 @@ pub fn generate(spec: &CampaignSpec, mix: &JobMix, library: &WorkloadLibrary) ->
             });
         }
     }
-    jobs.sort_by(|a, b| a.submit_s.partial_cmp(&b.submit_s).unwrap());
+    jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
     jobs
 }
 

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release --example campaign            # full 270 days
 //! cargo run --release --example campaign -- 30      # shorter campaign
+//! cargo run --release --example campaign -- 30 0.5  # with fault injection
 //! ```
 //!
 //! JSON artifacts for each experiment land in `target/experiments/`.
@@ -40,11 +41,25 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(270);
+    let faults: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.0);
 
     println!("building workload library and running a {days}-day campaign…");
     // threads(0): one worker per core; results are identical to -j 1.
-    let mut system = Sp2System::builder().days(days).threads(0).build();
-    let datasets = system.run_all();
+    let mut system = Sp2System::builder()
+        .days(days)
+        .threads(0)
+        .faults(faults)
+        .build();
+    let datasets = match system.run_all() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     for dataset in &datasets {
         println!("{}", dataset.rendered);

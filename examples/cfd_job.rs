@@ -57,7 +57,7 @@ fn main() {
             requested_walltime_s: walltime,
             payload: id.0 as u64,
         };
-        pbs.submit(spec);
+        pbs.submit(spec).expect("request fits the machine");
         let started = pbs.schedule(now);
         let job = started.last().expect("machine is empty, job starts");
 
@@ -89,7 +89,7 @@ fn main() {
             .collect();
         let report =
             JobCounterReport::from_snapshots(&selection, job.spec.id.0, start, end, &pairs);
-        pbs.finish(job.spec.id, end);
+        pbs.finish(job.spec.id, end).expect("job is running");
         now = end;
 
         println!("\n{label} ({}):", program.name);

@@ -10,7 +10,7 @@
 //! ```
 
 use sp2_repro::cluster::CampaignResult;
-use sp2_repro::core::experiments::experiment;
+use sp2_repro::core::experiments::{experiment, ExperimentInput};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -20,7 +20,11 @@ fn main() {
     // 1. The counter configuration NAS ran for nine months (Table 1).
     //    Table 1 is campaign-independent, so an empty result suffices.
     let empty = CampaignResult::empty(MachineConfig::nas_sp2(), nas_selection());
-    println!("{}", experiment("table1").unwrap().render(&empty));
+    let table1 = experiment("table1")
+        .expect("table1 is registered")
+        .render(ExperimentInput::of(&empty))
+        .expect("table1 renders");
+    println!("{table1}");
 
     // 2. One RS6000/590 node with its monitor.
     let machine = MachineConfig::nas_sp2();

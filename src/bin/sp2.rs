@@ -10,12 +10,17 @@
 //! sp2 fig5 --json                  # Figure 5 dataset as JSON on stdout
 //! sp2 calibration                  # §5 single-node anchors
 //! sp2 iowait --days 30             # the §7 io-aware extension
+//! sp2 availability --faults 0.05   # fault impact vs a fault-free twin
 //! sp2 probe matmul                 # run one kernel under the HPM
 //! sp2 campaign --days 270 -j 0     # everything, in parallel, with artifacts
 //! ```
+//!
+//! Exit codes are per error class so scripts can tell a typo from a
+//! failed engine run: 2 usage, 3 unknown experiment, 4 cluster
+//! configuration, 5 campaign spec, 6 campaign engine, 7 artifact i/o.
 
-use sp2_repro::core::experiments::{all_experiments, experiment};
-use sp2_repro::core::{export, Sp2System};
+use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
+use sp2_repro::core::{export, Sp2Error, Sp2System};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -28,13 +33,14 @@ const USAGE: &str = "\
 sp2 — reproduce Bergeron (SC 1998) on the simulated NAS SP2
 
 USAGE:
-    sp2 <COMMAND> [--days N] [--threads N] [--json]
+    sp2 <COMMAND> [--days N] [--threads N] [--faults RATE] [--fault-seed N] [--json]
 
 COMMANDS:
     table1 | table2 | table3 | table4    regenerate a table
     fig1 | fig2 | fig3 | fig4 | fig5     regenerate a figure's dataset
     calibration                          §5 single-node anchors
     iowait                               §7 io-aware counter extension
+    availability                         fault impact vs a fault-free twin
     summary                              headline statistics vs the paper
     probe <matmul|naive|cfd|bt|seq>      run one kernel under the HPM
     campaign                             all of the above + JSON artifacts
@@ -42,16 +48,64 @@ COMMANDS:
 
 OPTIONS:
     --days N        campaign length in days (default 60; the paper used 270)
-    --threads N     campaign worker threads; 0 = one per core (default 1)
+    --threads N     campaign worker threads (default 1). `-j 0` means one
+                    worker per core; values above the machine's available
+                    parallelism are rejected
+    --faults RATE   fault-injection rate (default 0 = fault-free; 1.0 is
+                    roughly a troubled production month)
+    --fault-seed N  seed for the fault plan (default 4096)
     --json          print the dataset as JSON instead of the text rendering
+
+EXIT CODES:
+    0 ok   2 usage   3 unknown experiment   4 cluster config
+    5 campaign spec   6 campaign engine   7 artifact i/o
 ";
+
+/// Everything the front end can fail with: a usage problem (ours) or a
+/// facade error (classed by [`Sp2Error`]).
+enum CliError {
+    Usage(String),
+    Sp2(Sp2Error),
+}
+
+impl From<Sp2Error> for CliError {
+    fn from(e: Sp2Error) -> Self {
+        CliError::Sp2(e)
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Usage(_) => 2,
+            CliError::Sp2(Sp2Error::UnknownExperiment(_)) => 3,
+            CliError::Sp2(Sp2Error::Config(_)) => 4,
+            CliError::Sp2(Sp2Error::Spec(_)) => 5,
+            CliError::Sp2(Sp2Error::Campaign(_)) => 6,
+            CliError::Sp2(Sp2Error::Io(_)) => 7,
+        })
+    }
+
+    fn message(&self) -> String {
+        match self {
+            CliError::Usage(m) => m.clone(),
+            CliError::Sp2(e) => e.to_string(),
+        }
+    }
+}
 
 struct Args {
     command: String,
     arg: Option<String>,
     days: u32,
     threads: usize,
+    faults: f64,
+    fault_seed: u64,
     json: bool,
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         arg: None,
         days: 60,
         threads: 1,
+        faults: 0.0,
+        fault_seed: 4_096,
         json: false,
     };
     while let Some(a) = argv.next() {
@@ -76,6 +132,27 @@ fn parse_args() -> Result<Args, String> {
             "--threads" | "-j" => {
                 let v = argv.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+                let avail = available_parallelism();
+                if args.threads > avail {
+                    return Err(format!(
+                        "--threads {} exceeds the available parallelism ({avail}); \
+                         use `-j 0` for one worker per core",
+                        args.threads
+                    ));
+                }
+            }
+            "--faults" => {
+                let v = argv.next().ok_or("--faults needs a value")?;
+                args.faults = v.parse().map_err(|_| format!("bad --faults value: {v}"))?;
+                if !args.faults.is_finite() || args.faults < 0.0 {
+                    return Err(format!("--faults must be a finite rate >= 0, got {v}"));
+                }
+            }
+            "--fault-seed" => {
+                let v = argv.next().ok_or("--fault-seed needs a value")?;
+                args.fault_seed = v
+                    .parse()
+                    .map_err(|_| format!("bad --fault-seed value: {v}"))?;
             }
             "--json" => args.json = true,
             other if args.arg.is_none() && !other.starts_with('-') => {
@@ -132,8 +209,8 @@ fn probe(kernel_name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+fn run() -> Result<(), CliError> {
+    let args = parse_args().map_err(CliError::Usage)?;
     let cmd = args.command.as_str();
 
     match cmd {
@@ -148,8 +225,11 @@ fn run() -> Result<(), String> {
             return Ok(());
         }
         "probe" => {
-            let k = args.arg.as_deref().ok_or("probe needs a kernel name")?;
-            return probe(k);
+            let k = args
+                .arg
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("probe needs a kernel name".into()))?;
+            return probe(k).map_err(CliError::Usage);
         }
         _ => {}
     }
@@ -157,31 +237,39 @@ fn run() -> Result<(), String> {
     let mut sys = Sp2System::builder()
         .days(args.days)
         .threads(args.threads)
+        .faults(args.faults)
+        .fault_seed(args.fault_seed)
         .build();
 
     if cmd == "campaign" {
         eprintln!(
-            "running a {}-day campaign on {} thread(s)…",
+            "running a {}-day campaign on {} thread(s){}…",
             args.days,
             if args.threads == 0 {
                 "all".to_string()
             } else {
                 args.threads.to_string()
+            },
+            if args.faults > 0.0 {
+                format!(" with faults at rate {}", args.faults)
+            } else {
+                String::new()
             }
         );
-        for dataset in sys.run_all() {
+        for dataset in sys.run_all()? {
             println!("{}", dataset.rendered);
-            let _ = dataset.write_artifact();
+            dataset.write_artifact()?;
         }
         eprintln!("artifacts written to {}", export::artifacts_dir().display());
         return Ok(());
     }
 
-    let exp = experiment(cmd).ok_or_else(|| format!("unknown command: {cmd}\n{USAGE}"))?;
+    let exp = experiment_or_err(cmd)
+        .map_err(|_| CliError::Sp2(Sp2Error::UnknownExperiment(format!("{cmd}\n{USAGE}"))))?;
     if exp.needs_campaign() {
         eprintln!("running a {}-day campaign…", args.days);
     }
-    let dataset = sys.dataset(exp);
+    let dataset = sys.dataset(exp)?;
     if args.json {
         println!("{}", dataset.json.to_string_pretty());
     } else {
@@ -194,8 +282,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("{}", e.message());
+            e.exit_code()
         }
     }
 }

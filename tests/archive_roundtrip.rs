@@ -4,7 +4,7 @@
 //! them back must reproduce the figures bit-for-bit — the property the
 //! paper's own later analysis of its nine-month archive depended on.
 
-use sp2_repro::cluster::{run_campaign, ClusterConfig};
+use sp2_repro::cluster::{run_campaign, ClusterConfig, FaultPlan};
 use sp2_repro::rs2hpm::{parse_job_report, write_job_report, JobCounterReport};
 use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 
@@ -18,7 +18,8 @@ fn figures_survive_the_text_archive() {
         ..Default::default()
     };
     let jobs = trace::generate(&spec, &JobMix::nas(), &library);
-    let campaign = run_campaign(&config, &library, &jobs, spec.days);
+    let campaign = run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none())
+        .expect("campaign runs");
     assert!(!campaign.job_reports.is_empty());
 
     // Archive every report as the epilogue file, then re-parse.

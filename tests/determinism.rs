@@ -1,22 +1,30 @@
 //! Bit-reproducibility: the whole campaign is a pure function of its
-//! seeds, so two runs produce identical datasets (the property the bench
-//! harness and EXPERIMENTS.md regeneration rely on).
+//! seeds — including the fault seed — so two runs produce identical
+//! datasets (the property the bench harness and EXPERIMENTS.md
+//! regeneration rely on), and an empty fault plan leaves the engine
+//! bit-identical to a fault-free run at any thread count.
 
-use sp2_repro::cluster::{run_campaign, ClusterConfig};
+use sp2_repro::cluster::{run_campaign, CampaignResult, ClusterConfig, FaultPlan};
 use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+fn fixture(days: u32, seed: u64) -> (ClusterConfig, WorkloadLibrary, CampaignSpec) {
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 123);
+    let spec = CampaignSpec {
+        days,
+        seed,
+        ..Default::default()
+    };
+    (config, library, spec)
+}
 
 #[test]
 fn identical_seeds_identical_campaigns() {
     let run = || {
-        let config = ClusterConfig::default();
-        let library = WorkloadLibrary::build(&config.machine, 123);
-        let spec = CampaignSpec {
-            days: 3,
-            seed: 45,
-            ..Default::default()
-        };
+        let (config, library, spec) = fixture(3, 45);
         let jobs = trace::generate(&spec, &JobMix::nas(), &library);
-        run_campaign(&config, &library, &jobs, spec.days)
+        run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none())
+            .expect("campaign runs")
     };
     let a = run();
     let b = run();
@@ -36,15 +44,10 @@ fn identical_seeds_identical_campaigns() {
 #[test]
 fn different_seeds_different_campaigns() {
     let run = |seed: u64| {
-        let config = ClusterConfig::default();
-        let library = WorkloadLibrary::build(&config.machine, 123);
-        let spec = CampaignSpec {
-            days: 3,
-            seed,
-            ..Default::default()
-        };
+        let (config, library, spec) = fixture(3, seed);
         let jobs = trace::generate(&spec, &JobMix::nas(), &library);
-        run_campaign(&config, &library, &jobs, spec.days)
+        run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none())
+            .expect("campaign runs")
     };
     let a = run(1);
     let b = run(2);
@@ -63,16 +66,16 @@ fn different_seeds_different_campaigns() {
 }
 
 /// Field-by-field identity of two campaign results.
-fn assert_campaigns_identical(
-    a: &sp2_repro::cluster::CampaignResult,
-    b: &sp2_repro::cluster::CampaignResult,
-) {
+fn assert_campaigns_identical(a: &CampaignResult, b: &CampaignResult) {
     assert_eq!(a.days, b.days);
     assert_eq!(a.node_count, b.node_count);
+    assert_eq!(a.faults, b.faults);
     assert_eq!(a.samples.len(), b.samples.len());
     for (x, y) in a.samples.iter().zip(&b.samples) {
         assert_eq!(x.t, y.t);
         assert_eq!(x.nodes_sampled, y.nodes_sampled);
+        assert_eq!(x.nodes_total, y.nodes_total);
+        assert_eq!(x.anomalies, y.anomalies);
         assert_eq!(x.total, y.total);
         assert_eq!(x.rates.mflops.to_bits(), y.rates.mflops.to_bits());
     }
@@ -88,17 +91,56 @@ fn assert_campaigns_identical(
 #[test]
 fn parallel_campaigns_bit_identical_at_any_thread_count() {
     use sp2_repro::cluster::run_campaign_with_threads;
-    let config = ClusterConfig::default();
-    let library = WorkloadLibrary::build(&config.machine, 123);
-    let spec = CampaignSpec {
-        days: 2,
-        seed: 45,
-        ..Default::default()
-    };
+    let (config, library, spec) = fixture(2, 45);
     let jobs = trace::generate(&spec, &JobMix::nas(), &library);
-    let serial = run_campaign(&config, &library, &jobs, spec.days);
+    let serial = run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none())
+        .expect("campaign runs");
     for threads in [1, 2, 8] {
-        let parallel = run_campaign_with_threads(&config, &library, &jobs, spec.days, threads);
+        let parallel = run_campaign_with_threads(
+            &config,
+            &library,
+            &jobs,
+            spec.days,
+            threads,
+            &FaultPlan::none(),
+        )
+        .expect("campaign runs");
+        assert_campaigns_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn faulted_campaigns_bit_identical_per_fault_seed() {
+    let (config, library, spec) = fixture(2, 45);
+    let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+    let plan = FaultPlan::generate(config.nodes, spec.days, 1.5, 77);
+    assert!(!plan.is_empty());
+    let a = run_campaign(&config, &library, &jobs, spec.days, &plan).expect("campaign runs");
+    let b = run_campaign(&config, &library, &jobs, spec.days, &plan).expect("campaign runs");
+    assert!(a.faults.enabled);
+    assert_campaigns_identical(&a, &b);
+
+    // A different fault seed must perturb the run.
+    let other = FaultPlan::generate(config.nodes, spec.days, 1.5, 78);
+    let c = run_campaign(&config, &library, &jobs, spec.days, &other).expect("campaign runs");
+    assert_ne!(
+        (a.faults.outages, a.faults.missed_sweeps, a.samples.len()),
+        (c.faults.outages, c.faults.missed_sweeps, c.samples.len()),
+        "different fault seeds must shuffle the degradation"
+    );
+}
+
+#[test]
+fn faulted_campaigns_bit_identical_across_thread_counts() {
+    use sp2_repro::cluster::run_campaign_with_threads;
+    let (config, library, spec) = fixture(2, 45);
+    let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+    let plan = FaultPlan::generate(config.nodes, spec.days, 1.5, 77);
+    let serial = run_campaign(&config, &library, &jobs, spec.days, &plan).expect("campaign runs");
+    for threads in [2, 8] {
+        let parallel =
+            run_campaign_with_threads(&config, &library, &jobs, spec.days, threads, &plan)
+                .expect("campaign runs");
         assert_campaigns_identical(&serial, &parallel);
     }
 }
@@ -106,15 +148,10 @@ fn parallel_campaigns_bit_identical_at_any_thread_count() {
 #[test]
 fn replications_match_individually_run_campaigns() {
     use sp2_repro::cluster::run_replications;
-    let config = ClusterConfig::default();
-    let library = WorkloadLibrary::build(&config.machine, 123);
+    let (config, library, base) = fixture(1, 90);
     let mix = JobMix::nas();
-    let base = CampaignSpec {
-        days: 1,
-        seed: 90,
-        ..Default::default()
-    };
-    let reps = run_replications(&config, &library, &mix, &base, 3);
+    let reps =
+        run_replications(&config, &library, &mix, &base, 3, &FaultPlan::none()).expect("reps run");
     assert_eq!(reps.len(), 3);
     for (i, rep) in reps.iter().enumerate() {
         let spec = CampaignSpec {
@@ -122,7 +159,8 @@ fn replications_match_individually_run_campaigns() {
             ..base
         };
         let jobs = trace::generate(&spec, &mix, &library);
-        let solo = run_campaign(&config, &library, &jobs, spec.days);
+        let solo = run_campaign(&config, &library, &jobs, spec.days, &FaultPlan::none())
+            .expect("campaign runs");
         assert_campaigns_identical(rep, &solo);
     }
 }

@@ -3,7 +3,7 @@
 //! All experiment datasets are obtained through the registry, exactly as
 //! external tooling would consume them (the exported JSON documents).
 
-use sp2_repro::core::experiments::experiment;
+use sp2_repro::core::experiments::{all_experiments, experiment, ExperimentInput};
 use sp2_repro::core::{Json, Sp2System};
 use std::sync::{Mutex, OnceLock};
 
@@ -13,7 +13,7 @@ fn system() -> &'static Mutex<Sp2System> {
     static SYS: OnceLock<Mutex<Sp2System>> = OnceLock::new();
     SYS.get_or_init(|| {
         let mut sys = Sp2System::nas_1996(30);
-        let _ = sys.campaign();
+        sys.campaign().expect("campaign runs");
         Mutex::new(sys)
     })
 }
@@ -23,7 +23,9 @@ fn system() -> &'static Mutex<Sp2System> {
 fn doc(id: &str) -> Json {
     let mut sys = system().lock().unwrap();
     let e = experiment(id).expect("registered experiment");
-    e.to_json(sys.campaign())
+    let campaign = sys.campaign().expect("campaign runs");
+    e.to_json(ExperimentInput::of(campaign))
+        .expect("experiment runs")
 }
 
 fn num(doc: &Json, key: &str) -> f64 {
@@ -48,7 +50,7 @@ fn row_field(doc: &Json, arr: &str, name: &str, field: &str) -> f64 {
 #[test]
 fn campaign_has_complete_datasets() {
     let mut sys = system().lock().unwrap();
-    let c = sys.campaign();
+    let c = sys.campaign().expect("campaign runs");
     assert_eq!(c.days, 30);
     assert_eq!(c.node_count, 144);
     assert_eq!(
@@ -64,7 +66,7 @@ fn campaign_has_complete_datasets() {
 fn headline_band_the_machine_runs_at_a_few_percent_of_peak() {
     let mut sys = system().lock().unwrap();
     let peak_gflops = 144.0 * sys.config().machine.peak_mflops() / 1000.0; // ≈38.4
-    let c = sys.campaign();
+    let c = sys.campaign().expect("campaign runs");
     let mean = c.mean_daily_gflops();
     let efficiency = mean / peak_gflops;
     // Paper: ≈1.3 Gflops ≈ 3 % of peak. Shape band: 2–6 %.
@@ -172,4 +174,62 @@ fn summary_experiment_reports_every_headline_stat() {
         let measured = r.get("measured").and_then(Json::as_f64).unwrap();
         assert!(measured.is_finite());
     }
+}
+
+#[test]
+fn every_dataset_carries_a_quality_footer() {
+    let mut sys = system().lock().unwrap();
+    for e in all_experiments() {
+        let d = sys.dataset(*e).expect("experiment runs");
+        assert!(
+            d.rendered.contains("data quality:"),
+            "{} missing footer",
+            e.id()
+        );
+        assert!(
+            d.json.get("data_quality").is_some(),
+            "{} missing data_quality field",
+            e.id()
+        );
+    }
+}
+
+#[test]
+fn faulted_campaign_degrades_every_dataset_visibly() {
+    // A separate short campaign with heavy faults: all thirteen
+    // experiments must still run and must flag the degradation.
+    let mut sys = Sp2System::builder()
+        .days(3)
+        .faults(3.0)
+        .fault_seed(13)
+        .build();
+    let c = sys.campaign().expect("campaign runs");
+    assert!(c.faults.enabled);
+    assert!(
+        c.faults.missed_sweeps > 0 || c.faults.outages > 0,
+        "rate 3.0 must inject something"
+    );
+    let degraded = !c.coverage().is_complete();
+    for e in all_experiments() {
+        let d = sys.dataset(*e).expect("experiment runs under faults");
+        assert!(
+            d.rendered.contains("data quality:"),
+            "{} missing footer",
+            e.id()
+        );
+        if degraded && e.needs_campaign() && e.selection() == sp2_repro::core::SelectionKind::Nas {
+            assert!(
+                d.rendered.contains("DEGRADED"),
+                "{} hides the degradation:\n{}",
+                e.id(),
+                d.rendered
+            );
+        }
+    }
+    // The availability report must quantify the loss against its twin.
+    let a = sys
+        .dataset(experiment("availability").expect("registered"))
+        .expect("availability runs");
+    assert!(a.json.get("baseline_gflops").is_some());
+    assert!(num(&a.json, "uptime_fraction") <= 1.0);
 }

@@ -1,10 +1,12 @@
 //! Property-based tests on the core data structures and invariants.
 
 use proptest::prelude::*;
+use sp2_repro::cluster::{run_campaign, ClusterConfig, FaultPlan};
 use sp2_repro::hpm::{nas_selection, CounterDelta, EventSet, Hpm, Mode, Signal};
 use sp2_repro::isa::{AddrGen, AddrPattern};
 use sp2_repro::power2::{Cache, CacheConfig};
 use sp2_repro::stats::{centered_moving_average, trailing_moving_average, Histogram, Summary};
+use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 
 fn arb_signal() -> impl Strategy<Value = Signal> {
     prop::sample::select(Signal::ALL.to_vec())
@@ -151,6 +153,87 @@ proptest! {
             let x = a.next_addr();
             prop_assert_eq!(x, b.next_addr());
             prop_assert!(x >= seed_base && x < seed_base + (1 << 20));
+        }
+    }
+}
+
+/// Shared one-day fixture for the fault-plan properties below (the
+/// library measurement dominates setup cost, so build it once).
+fn fault_fixture() -> &'static (
+    ClusterConfig,
+    WorkloadLibrary,
+    Vec<sp2_repro::workload::SubmittedJob>,
+    u32,
+) {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<(
+        ClusterConfig,
+        WorkloadLibrary,
+        Vec<sp2_repro::workload::SubmittedJob>,
+        u32,
+    )> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let config = ClusterConfig::default();
+        let library = WorkloadLibrary::build(&config.machine, 5);
+        let spec = CampaignSpec {
+            days: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let jobs = trace::generate(&spec, &JobMix::nas(), &library);
+        (config, library, jobs, spec.days)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whatever the fault plan does, the daemon's coverage ledger stays
+    /// sane: no sample ever claims more nodes than exist, and every
+    /// aggregate rate stays finite — including under a 100 % outage
+    /// where nothing at all is sampled.
+    #[test]
+    fn faulted_campaigns_keep_coverage_and_rates_sane(
+        rate in 0.0f64..20.0,
+        seed in 0u64..1_000,
+        dark in 0u8..2,
+    ) {
+        let total_outage = dark == 1;
+        let (config, library, jobs, days) = fault_fixture();
+        let horizon = *days as f64 * 86_400.0;
+        // Outage windows must not overlap per node (the generator never
+        // produces overlaps), so the dark-machine case starts from an
+        // empty plan rather than stacking onto generated windows.
+        let mut plan = if total_outage {
+            FaultPlan::none()
+        } else {
+            FaultPlan::generate(config.nodes, *days, rate, seed)
+        };
+        if total_outage {
+            // Every node dark for the whole campaign.
+            for node in 0..config.nodes {
+                plan.add_outage(node, 0.0, horizon + 1.0);
+            }
+        }
+        let r = run_campaign(config, library, jobs, *days, &plan)
+            .expect("campaign survives any fault plan");
+        for s in &r.samples {
+            prop_assert!(s.nodes_sampled <= s.nodes_total,
+                "sample at t={} claims {}/{} nodes", s.t, s.nodes_sampled, s.nodes_total);
+            prop_assert!(s.rates.mflops.is_finite());
+            prop_assert!(s.rates.mips.is_finite());
+            prop_assert!(s.coverage() >= 0.0 && s.coverage() <= 1.0);
+        }
+        let cov = r.coverage();
+        prop_assert!(cov.covered <= cov.total + 1e-9);
+        prop_assert!(cov.fraction() >= 0.0 && cov.fraction() <= 1.0);
+        for d in r.daily_node_rates() {
+            prop_assert!(d.mflops.is_finite());
+            prop_assert!(d.mips.is_finite());
+        }
+        prop_assert!(r.mean_daily_gflops().is_finite());
+        if total_outage {
+            prop_assert_eq!(cov.fraction(), 0.0, "nothing was sampled");
         }
     }
 }
