@@ -32,6 +32,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("serial_1_thread", |b| {
         b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none()))
     });
+    // The same run with the trace layer live: the gap between this and
+    // serial_1_thread is the instrumentation overhead, budgeted < 3%.
+    g.bench_function("serial_1_thread_traced", |b| {
+        sp2_trace::set_enabled(true);
+        b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none()));
+        sp2_trace::set_enabled(false);
+    });
     g.bench_function("all_cores", |b| {
         b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 0, &FaultPlan::none()))
     });

@@ -23,6 +23,7 @@
 
 pub mod activity;
 pub mod faults;
+pub mod metrics;
 pub mod paging;
 pub mod result;
 pub mod sim;

@@ -1,0 +1,108 @@
+//! Self-metering for the campaign engine.
+//!
+//! The event loop is where campaign minutes go, so it is split into the
+//! phases the engine actually alternates between: advancing node
+//! counters (the rayon-parallel part), folding daemon samples,
+//! scheduling jobs, and handling fault events. `advance_busy_ns`
+//! accumulates per-node work inside the parallel region, so
+//! `advance_busy_ns / (advance wall × workers)` reads as rayon worker
+//! utilization.
+
+use sp2_trace::{Counter, Gauge, MetricValue, MetricsSnapshot, Timer};
+
+/// Whole [`crate::run_campaign`] invocations, wall time per campaign.
+pub static CAMPAIGN: Timer = Timer::new("cluster.campaign");
+
+/// Events popped off the simulation heap.
+pub static EVENTS: Counter = Counter::new("cluster.events");
+
+/// Simulated seconds covered by completed campaigns.
+pub static SIMULATED_S: Counter = Counter::new("cluster.simulated_seconds");
+
+/// Wall time of the parallel per-node advance in each sampling pass.
+pub static ADVANCE: Timer = Timer::new("cluster.phase.advance");
+
+/// Summed per-node busy time inside the parallel advance (compare
+/// against `cluster.phase.advance` wall × worker count).
+pub static ADVANCE_BUSY_NS: Counter = Counter::new("cluster.advance_busy_ns");
+
+/// Wall time of snapshot assembly + daemon folding per sampling pass.
+pub static SAMPLE: Timer = Timer::new("cluster.phase.sample");
+
+/// Wall time of PBS scheduling passes (job starts).
+pub static SCHEDULE: Timer = Timer::new("cluster.phase.schedule");
+
+/// Wall time of fault handling (node-down/node-up events).
+pub static FAULT_SWEEP: Timer = Timer::new("cluster.phase.faults");
+
+/// Rayon workers available to the engine when the campaign started.
+pub static RAYON_THREADS: Gauge = Gauge::new("cluster.rayon_threads");
+
+/// Appends the engine's readings — including derived worker utilization
+/// and simulated-seconds-per-wall-second throughput — to `snap`.
+pub fn collect(snap: &mut MetricsSnapshot) {
+    CAMPAIGN.observe(snap);
+    EVENTS.observe(snap);
+    SIMULATED_S.observe(snap);
+    ADVANCE.observe(snap);
+    ADVANCE_BUSY_NS.observe(snap);
+    SAMPLE.observe(snap);
+    SCHEDULE.observe(snap);
+    FAULT_SWEEP.observe(snap);
+    RAYON_THREADS.observe(snap);
+    let workers = RAYON_THREADS.get().max(1.0);
+    let advance_wall = ADVANCE.total_ns() as f64;
+    snap.push(
+        "cluster.worker_utilization",
+        MetricValue::Value(if advance_wall > 0.0 {
+            (ADVANCE_BUSY_NS.get() as f64 / (advance_wall * workers)).min(1.0)
+        } else {
+            0.0
+        }),
+    );
+    let campaign_wall_s = CAMPAIGN.total_ns() as f64 / 1e9;
+    snap.push(
+        "cluster.sim_seconds_per_wall_second",
+        MetricValue::Value(if campaign_wall_s > 0.0 {
+            SIMULATED_S.get() as f64 / campaign_wall_s
+        } else {
+            0.0
+        }),
+    );
+}
+
+/// Zeroes every reading.
+pub fn reset() {
+    CAMPAIGN.reset();
+    EVENTS.reset();
+    SIMULATED_S.reset();
+    ADVANCE.reset();
+    ADVANCE_BUSY_NS.reset();
+    SAMPLE.reset();
+    SCHEDULE.reset();
+    FAULT_SWEEP.reset();
+    RAYON_THREADS.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_phases_and_derived_rates() {
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        for key in [
+            "cluster.campaign",
+            "cluster.events",
+            "cluster.phase.advance",
+            "cluster.phase.sample",
+            "cluster.phase.schedule",
+            "cluster.phase.faults",
+            "cluster.worker_utilization",
+            "cluster.sim_seconds_per_wall_second",
+        ] {
+            assert!(snap.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -261,6 +261,8 @@ pub fn run_campaign(
     days: u32,
     faults: &FaultPlan,
 ) -> Result<CampaignResult, CampaignError> {
+    let _campaign_span = crate::metrics::CAMPAIGN.span();
+    crate::metrics::RAYON_THREADS.set(rayon::current_num_threads() as f64);
     let horizon = days as f64 * 86_400.0;
     let selection = config.selection.clone();
     let handler: KernelSignature = page_fault_signature(&config.machine);
@@ -332,6 +334,7 @@ pub fn run_campaign(
                       seq: &mut u64,
                       attempts: &[u32],
                       trace: &[SubmittedJob]| {
+        let _sched_span = crate::metrics::SCHEDULE.span();
         for started in pbs.schedule(now) {
             let submitted = &trace[started.spec.payload as usize];
             let program = library.program(submitted.program);
@@ -372,6 +375,7 @@ pub fn run_campaign(
         if t > horizon {
             break;
         }
+        crate::metrics::EVENTS.inc();
         match ev {
             Ev::Submit(i) => {
                 let job = &trace[i];
@@ -449,7 +453,33 @@ pub fn run_campaign(
                 // 32-bit registers. The daemon folds the batch in index
                 // order, so the sample is bit-identical at any thread
                 // count.
-                nodes.par_iter_mut().for_each(|n| n.advance(t));
+                {
+                    let advance_span = crate::metrics::ADVANCE.span();
+                    if sp2_trace::enabled() {
+                        // Worker-busy time is clocked per worker chunk,
+                        // not per node: one Instant pair per chunk keeps
+                        // the traced path inside the overhead budget
+                        // while still summing all on-worker time.
+                        // Chunking never changes results — nodes are
+                        // independent and each advances exactly once.
+                        let per_worker = nodes
+                            .len()
+                            .div_ceil(rayon::current_num_threads().max(1))
+                            .max(1);
+                        let mut chunks: Vec<_> = nodes.chunks_mut(per_worker).collect();
+                        chunks.par_iter_mut().for_each(|chunk| {
+                            let t0 = std::time::Instant::now();
+                            for n in chunk.iter_mut() {
+                                n.advance(t);
+                            }
+                            crate::metrics::ADVANCE_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
+                        });
+                    } else {
+                        nodes.par_iter_mut().for_each(|n| n.advance(t));
+                    }
+                    drop(advance_span);
+                }
+                let _sample_span = crate::metrics::SAMPLE.span();
                 let glitched = faults.glitched_nodes(k);
                 let snapshots: Vec<Option<CounterSnapshot>> = nodes
                     .iter()
@@ -473,6 +503,7 @@ pub fn run_campaign(
                 if down[node] {
                     continue;
                 }
+                let fault_span = crate::metrics::FAULT_SWEEP.span();
                 down[node] = true;
                 // The node crashes: counters freeze at `t` (they advanced
                 // while the job computed up to the crash).
@@ -504,6 +535,7 @@ pub fn run_campaign(
                         }
                     }
                 }
+                drop(fault_span);
                 start_jobs(
                     t,
                     &mut pbs,
@@ -519,12 +551,14 @@ pub fn run_campaign(
                 if !down[node] {
                     continue;
                 }
+                let fault_span = crate::metrics::FAULT_SWEEP.span();
                 down[node] = false;
                 // Repair and reboot: the monitor state did not survive,
                 // so the daemon will re-baseline this node.
                 nodes[node].reboot(t);
                 nodes[node].set_activity(t, Some(idle_plan.clone()));
                 pbs.bring_node_online(node);
+                drop(fault_span);
                 start_jobs(
                     t,
                     &mut pbs,
@@ -558,6 +592,7 @@ pub fn run_campaign(
         });
     }
 
+    crate::metrics::SIMULATED_S.add(horizon as u64);
     Ok(CampaignResult {
         days,
         node_count: config.nodes,

@@ -80,6 +80,48 @@ impl Json {
         out
     }
 
+    /// Parses JSON text back into the document model — the inverse of
+    /// [`Json::to_string_pretty`], used to round-trip artifacts in tests
+    /// and to compare metrics dumps. Accepts any standard JSON document;
+    /// numbers become [`Json::Num`], so integer precision is bounded by
+    /// `f64` (the writer never emits more). Surrogate-pair `\u` escapes
+    /// are rejected (the writer only escapes control characters).
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Structural equality with numbers compared bit-for-bit via
+    /// [`f64::to_bits`], so `-0.0` differs from `0.0` and NaN equals NaN.
+    /// The derived `PartialEq` follows IEEE comparison instead; the
+    /// determinism tests want this stricter check.
+    pub fn bits_eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a.to_bits() == b.to_bits(),
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+            }
+            (Json::Obj(a), Json::Obj(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.bits_eq(vb))
+            }
+            _ => false,
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -163,6 +205,198 @@ fn write_str(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Error from [`Json::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent parser over the raw bytes. String content is
+/// scanned bytewise — UTF-8 continuation bytes are all `>= 0x80`, so they
+/// can never be mistaken for the `"` and `\` delimiters.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, lit: &'static str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8 in string"))?;
+            out.push_str(chunk);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let c = u32::from_str_radix(hex, 16)
+                                .ok()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                // The scan above stops only at '"', '\\', or end of input.
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
 }
 
 /// Conversion into the document model; every experiment dataset
@@ -291,6 +525,71 @@ mod tests {
         assert_eq!(series[1].as_f64(), Some(2.0));
         assert!(doc.get("missing").is_none());
         assert!(doc.get("label").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let doc = Json::obj()
+            .field("label", "quote \" slash \\ line\nend")
+            .field("series", vec![1.5f64, 2.0, 0.25])
+            .field("flags", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .field("nested", Json::obj().field("k", 7u32));
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        assert!(parsed.bits_eq(&doc));
+    }
+
+    #[test]
+    fn non_finite_renders_null_and_round_trips() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            write_num(&mut s, v);
+            assert_eq!(s, "null", "non-finite {v} must render as null");
+        }
+        let doc = Json::obj().field("bad", f64::NAN);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn negative_zero_renders_unsigned_and_round_trips() {
+        let mut s = String::new();
+        write_num(&mut s, -0.0);
+        assert_eq!(s, "0", "-0.0 must render without a sign");
+        let doc = Json::obj().field("z", -0.0f64);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        let z = parsed.get("z").and_then(Json::as_f64).unwrap();
+        assert_eq!(z.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"open", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = Json::parse("{\"a\": 1} trailing").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_numbers() {
+        let parsed = Json::parse(r#"{"s": "aA\n", "n": -2.5e2}"#).unwrap();
+        assert_eq!(parsed.get("s").and_then(Json::as_str), Some("aA\n"));
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(-250.0));
+    }
+
+    #[test]
+    fn bits_eq_is_stricter_than_partial_eq() {
+        let pos = Json::Num(0.0);
+        let neg = Json::Num(-0.0);
+        assert_eq!(pos, neg, "IEEE equality treats signed zeros alike");
+        assert!(!pos.bits_eq(&neg), "bits_eq must distinguish them");
+        let nan = Json::Num(f64::NAN);
+        assert_ne!(nan, nan.clone(), "IEEE NaN is never ==");
+        assert!(
+            nan.bits_eq(&nan.clone()),
+            "bits_eq treats same NaN as equal"
+        );
     }
 
     #[test]

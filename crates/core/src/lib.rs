@@ -48,6 +48,7 @@ pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod json;
+pub mod metrics;
 pub mod plot;
 pub mod render;
 pub mod system;

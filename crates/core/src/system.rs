@@ -288,10 +288,15 @@ impl Sp2System {
     /// Runs one experiment, providing whatever input it declares it
     /// needs (no campaign, the primary or io-aware campaign, and a
     /// fault-free twin for baseline-hungry experiments).
+    ///
+    /// While tracing is enabled, each experiment's analysis wall time
+    /// (excluding the shared, cached campaign simulation) and dataset
+    /// size land in the dynamic metrics as `core.experiment.<id>` and
+    /// `core.dataset_bytes.<id>`.
     pub fn dataset(&mut self, exp: &dyn Experiment) -> Result<Dataset, Sp2Error> {
         if !exp.needs_campaign() {
             let empty = CampaignResult::empty(self.config.machine, exp.selection().selection());
-            return exp.run(ExperimentInput::of(&empty));
+            return Self::run_metered(exp, ExperimentInput::of(&empty));
         }
         let kind = exp.selection();
         let own = self.own_kind() == Some(kind);
@@ -306,7 +311,25 @@ impl Sp2System {
         } else {
             ExperimentInput::of(campaign)
         };
-        exp.run(input)
+        Self::run_metered(exp, input)
+    }
+
+    /// Runs the experiment's analysis, recording wall time and dataset
+    /// size under the experiment's id when tracing is enabled.
+    fn run_metered(exp: &dyn Experiment, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        if !sp2_trace::enabled() {
+            return exp.run(input);
+        }
+        let start = std::time::Instant::now();
+        let result = exp.run(input);
+        let ns = start.elapsed().as_nanos() as u64;
+        if let Ok(dataset) = &result {
+            let id = exp.id();
+            sp2_trace::dynamic::record_ns(&format!("core.experiment.{id}"), ns);
+            let bytes = dataset.rendered.len() + dataset.json.to_string_pretty().len();
+            sp2_trace::dynamic::add(&format!("core.dataset_bytes.{id}"), bytes as u64);
+        }
+        result
     }
 
     /// Runs every registered experiment in presentation order, stopping

@@ -26,6 +26,7 @@
 pub mod accounting;
 pub mod error;
 pub mod job;
+pub mod metrics;
 pub mod scheduler;
 
 pub use accounting::{utilization, walltime_histogram, JobOutcome, JobRecord};

@@ -1,0 +1,55 @@
+//! Self-metering for the batch system.
+//!
+//! PBS is pure bookkeeping — cheap next to the node simulator — so the
+//! interesting readings are shape, not time: how deep the queue got
+//! (draining for >64-node jobs shows up here), how many jobs flowed
+//! through, and how often node failures forced requeues.
+
+use sp2_trace::{Counter, MaxGauge, MetricsSnapshot};
+
+/// Jobs accepted into the queue.
+pub static SUBMITTED: Counter = Counter::new("pbs.jobs_submitted");
+
+/// Jobs handed nodes and started.
+pub static STARTED: Counter = Counter::new("pbs.jobs_started");
+
+/// Killed jobs put back at the head of the queue after a node failure.
+pub static REQUEUED: Counter = Counter::new("pbs.jobs_requeued");
+
+/// Deepest the queue ever got (including the job being pushed).
+pub static QUEUE_DEPTH_MAX: MaxGauge = MaxGauge::new("pbs.queue_depth_max");
+
+/// Appends the batch system's readings to `snap`.
+pub fn collect(snap: &mut MetricsSnapshot) {
+    SUBMITTED.observe(snap);
+    STARTED.observe(snap);
+    REQUEUED.observe(snap);
+    QUEUE_DEPTH_MAX.observe(snap);
+}
+
+/// Zeroes every reading.
+pub fn reset() {
+    SUBMITTED.reset();
+    STARTED.reset();
+    REQUEUED.reset();
+    QUEUE_DEPTH_MAX.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_queue_shape() {
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        for key in [
+            "pbs.jobs_submitted",
+            "pbs.jobs_started",
+            "pbs.jobs_requeued",
+            "pbs.queue_depth_max",
+        ] {
+            assert!(snap.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -126,6 +126,8 @@ impl Pbs {
         }
         self.states.insert(spec.id, JobState::Queued);
         self.queue.push_back(spec);
+        crate::metrics::SUBMITTED.inc();
+        crate::metrics::QUEUE_DEPTH_MAX.record(self.queue.len() as u64);
         Ok(())
     }
 
@@ -134,6 +136,8 @@ impl Pbs {
     pub fn requeue(&mut self, spec: JobSpec) {
         self.states.insert(spec.id, JobState::Queued);
         self.queue.push_front(spec);
+        crate::metrics::REQUEUED.inc();
+        crate::metrics::QUEUE_DEPTH_MAX.record(self.queue.len() as u64);
     }
 
     fn allocate(&mut self, n: u32) -> Option<Vec<usize>> {
@@ -159,6 +163,7 @@ impl Pbs {
         self.states
             .insert(job.spec.id, JobState::Running { start: now, nodes });
         self.running.insert(job.spec.id, job.clone());
+        crate::metrics::STARTED.inc();
         job
     }
 

@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod config;
 pub mod handler;
+pub mod metrics;
 pub mod node;
 pub mod sigcache;
 pub mod signature;

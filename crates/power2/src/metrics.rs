@@ -1,0 +1,91 @@
+//! Self-metering for the node simulator.
+//!
+//! The cycle simulator is the deepest hot path in the stack — every
+//! kernel signature measurement runs it — so instrumentation sits at
+//! kernel-run granularity (one counter bump per `run_kernel`), never
+//! inside the dispatch loop. The signature-cache statistics piggyback on
+//! the cache's own always-on atomics and are merely bridged into the
+//! snapshot here.
+
+use crate::sigcache::SignatureCache;
+use sp2_trace::{Counter, MetricValue, MetricsSnapshot, Timer};
+
+/// Kernels cycle-simulated by [`crate::node::Node::run_kernel`].
+pub static KERNEL_RUNS: Counter = Counter::new("power2.kernel_runs");
+
+/// Simulated POWER2 cycles across all kernel runs (the numerator of
+/// simulated-cycle throughput; divide by [`MEASURE`] wall time).
+pub static SIMULATED_CYCLES: Counter = Counter::new("power2.simulated_cycles");
+
+/// Wall time spent cycle-simulating kernels for signature measurements
+/// (the signature cache's miss path).
+pub static MEASURE: Timer = Timer::new("power2.signature_measure");
+
+/// Appends the node simulator's readings — including the process-wide
+/// signature cache's hit/miss/eviction tallies and the derived hit rate
+/// and simulated-cycle throughput — to `snap`.
+pub fn collect(snap: &mut MetricsSnapshot) {
+    let cache = SignatureCache::global();
+    snap.push("power2.sigcache.hits", MetricValue::Count(cache.hits()));
+    snap.push("power2.sigcache.misses", MetricValue::Count(cache.misses()));
+    snap.push(
+        "power2.sigcache.evictions",
+        MetricValue::Count(cache.evictions()),
+    );
+    snap.push(
+        "power2.sigcache.entries",
+        MetricValue::Count(cache.len() as u64),
+    );
+    let lookups = cache.hits() + cache.misses();
+    snap.push(
+        "power2.sigcache.hit_rate",
+        MetricValue::Value(if lookups == 0 {
+            0.0
+        } else {
+            cache.hits() as f64 / lookups as f64
+        }),
+    );
+    KERNEL_RUNS.observe(snap);
+    SIMULATED_CYCLES.observe(snap);
+    MEASURE.observe(snap);
+    let wall_s = MEASURE.total_ns() as f64 / 1e9;
+    snap.push(
+        "power2.simulated_cycles_per_sec",
+        MetricValue::Value(if wall_s > 0.0 {
+            SIMULATED_CYCLES.get() as f64 / wall_s
+        } else {
+            0.0
+        }),
+    );
+}
+
+/// Zeroes the simulator's own metrics (cache statistics are owned by
+/// [`SignatureCache`] and reset via [`SignatureCache::clear`]).
+pub fn reset() {
+    KERNEL_RUNS.reset();
+    SIMULATED_CYCLES.reset();
+    MEASURE.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_cache_and_run_metrics() {
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        for key in [
+            "power2.sigcache.hits",
+            "power2.sigcache.misses",
+            "power2.sigcache.evictions",
+            "power2.sigcache.hit_rate",
+            "power2.kernel_runs",
+            "power2.simulated_cycles",
+            "power2.signature_measure",
+            "power2.simulated_cycles_per_sec",
+        ] {
+            assert!(snap.get(key).is_some(), "missing {key}");
+        }
+    }
+}

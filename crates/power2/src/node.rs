@@ -267,6 +267,8 @@ impl Node {
         let cycles = end_of_work.max(cycle) + 1;
         events.bump(Signal::Cycles, cycles);
         events.bump(Signal::FxuStallCycles, stall_cycles);
+        crate::metrics::KERNEL_RUNS.inc();
+        crate::metrics::SIMULATED_CYCLES.add(cycles);
         RunStats {
             events,
             cycles,

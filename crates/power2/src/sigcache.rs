@@ -28,6 +28,7 @@ pub struct SignatureCache {
     map: Mutex<HashMap<String, KernelSignature>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SignatureCache {
@@ -59,6 +60,7 @@ impl SignatureCache {
         // Simulate outside the lock: measurements are expensive and
         // deterministic, so a racing duplicate costs time, not
         // correctness — last writer inserts an identical value.
+        let _span = crate::metrics::MEASURE.span();
         let mut node = Node::with_seed(*config, seed);
         let sig = KernelSignature::measure(&mut node, kernel);
         self.map.lock().insert(key, sig.clone());
@@ -79,6 +81,14 @@ impl SignatureCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Cached measurements dropped over the cache's lifetime (the only
+    /// eviction path is [`SignatureCache::clear`]; unlike the hit/miss
+    /// counters this tally survives `clear` so a post-clear snapshot
+    /// still shows that entries were thrown away).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Distinct measurements currently cached.
     pub fn len(&self) -> usize {
         self.map.lock().len()
@@ -90,8 +100,13 @@ impl SignatureCache {
     }
 
     /// Drops all cached measurements and zeroes the hit/miss counters.
+    /// Every dropped entry counts as an eviction.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        let mut map = self.map.lock();
+        self.evictions
+            .fetch_add(map.len() as u64, Ordering::Relaxed);
+        map.clear();
+        drop(map);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -160,6 +175,20 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clear_counts_evictions_across_generations() {
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        assert_eq!(cache.evictions(), 0);
+        cache.measure(&tiny_kernel("ev-a", 100), &cfg, 1);
+        cache.measure(&tiny_kernel("ev-b", 100), &cfg, 1);
+        cache.clear();
+        assert_eq!(cache.evictions(), 2);
+        cache.measure(&tiny_kernel("ev-c", 100), &cfg, 1);
+        cache.clear();
+        assert_eq!(cache.evictions(), 3, "eviction tally survives clear");
     }
 
     #[test]

@@ -120,10 +120,12 @@ impl Daemon {
             self.prev.len(),
             "batch must cover every node of the machine"
         );
+        let _sweep = crate::metrics::SWEEP.span();
         let n_slots = self.selection.len();
         let mut total = CounterDelta::zero(n_slots);
         let mut nodes_sampled = 0;
         let mut anomalies = 0;
+        let mut baselines = 0u64;
         for (node, snap) in snapshots.iter().enumerate() {
             let Some(snap) = snap else {
                 self.prev[node] = None;
@@ -143,9 +145,13 @@ impl Daemon {
                     self.prev[node] = None;
                 }
             } else {
+                baselines += 1;
                 self.prev[node] = Some(snap.clone());
             }
         }
+        crate::metrics::NODES_SAMPLED.add(nodes_sampled as u64);
+        crate::metrics::ANOMALIES.add(anomalies as u64);
+        crate::metrics::BASELINES.add(baselines);
         let interval = self
             .samples
             .last()
@@ -352,6 +358,73 @@ mod tests {
         let s = d.collect(&toy, 2700.0).clone();
         assert_eq!(s.nodes_sampled, 3);
         assert_eq!(s.total.user[slot], 25);
+        assert_eq!(d.total_anomalies(), 1);
+    }
+
+    #[test]
+    fn plausibility_boundary_at_exactly_max_is_kept() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        toy.work(0, PLAUSIBLE_DELTA_MAX);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!(s.anomalies, 0, "a delta of exactly the bound is plausible");
+        assert_eq!(s.nodes_sampled, 3);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], PLAUSIBLE_DELTA_MAX);
+    }
+
+    #[test]
+    fn plausibility_boundary_just_below_is_kept() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        toy.work(0, PLAUSIBLE_DELTA_MAX - 1);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!(s.anomalies, 0);
+        assert_eq!(s.nodes_sampled, 3);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], PLAUSIBLE_DELTA_MAX - 1);
+    }
+
+    #[test]
+    fn plausibility_boundary_just_above_is_discarded() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        toy.work(0, PLAUSIBLE_DELTA_MAX + 1);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!(s.anomalies, 1, "one past the bound must be discarded");
+        assert_eq!(s.nodes_sampled, 2);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(s.total.user[slot], 0, "the implausible delta never lands");
+    }
+
+    #[test]
+    fn discarded_sample_rebaselines_without_double_counting() {
+        let mut toy = Toy::new();
+        let mut d = Daemon::new(nas_selection(), 3);
+        d.collect(&toy, 0.0);
+        // Interval 1: an implausible burst is discarded and the node's
+        // baseline is dropped.
+        toy.work(0, PLAUSIBLE_DELTA_MAX + 1);
+        let s = d.collect(&toy, 900.0).clone();
+        assert_eq!((s.anomalies, s.nodes_sampled), (1, 2));
+        // Interval 2: the node re-baselines from a snapshot that already
+        // contains the burst — it contributes no delta this pass.
+        let s = d.collect(&toy, 1800.0).clone();
+        assert_eq!(s.anomalies, 0);
+        assert_eq!(s.nodes_sampled, 2, "re-baselining node contributes nothing");
+        // Interval 3: only work done *after* the re-baseline counts; the
+        // burst absorbed before it must never reappear.
+        toy.work(0, 10);
+        let s = d.collect(&toy, 2700.0).clone();
+        assert_eq!(s.nodes_sampled, 3);
+        let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
+        assert_eq!(
+            s.total.user[slot], 10,
+            "pre-baseline burst must not be double-counted"
+        );
         assert_eq!(d.total_anomalies(), 1);
     }
 

@@ -23,6 +23,7 @@
 
 pub mod daemon;
 pub mod jobreport;
+pub mod metrics;
 pub mod rates;
 pub mod session;
 pub mod textfmt;

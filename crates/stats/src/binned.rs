@@ -35,10 +35,11 @@ impl BinnedScatter {
         }
     }
 
-    /// Adds one point. Points with `x` outside the configured range are
-    /// tallied in `out_of_range` and otherwise ignored.
+    /// Adds one point. Points with `x` outside the configured range — or
+    /// with a non-finite `x` or `y`, which would poison every bin summary
+    /// they touch — are tallied in `out_of_range` and otherwise ignored.
     pub fn add(&mut self, x: f64, y: f64) {
-        if !(self.x_min..self.x_max).contains(&x) {
+        if !x.is_finite() || !y.is_finite() || !(self.x_min..self.x_max).contains(&x) {
             self.out_of_range += 1;
             return;
         }
@@ -120,6 +121,21 @@ mod tests {
         b.add(1.0, 5.0); // half-open: x_max excluded
         assert_eq!(b.out_of_range(), 2);
         assert!(b.series().is_empty());
+    }
+
+    #[test]
+    fn non_finite_points_rejected_not_binned() {
+        let mut b = BinnedScatter::new(0.0, 1.0, 2);
+        b.add(0.5, f64::NAN);
+        b.add(f64::NAN, 1.0);
+        b.add(0.5, f64::INFINITY);
+        b.add(f64::NEG_INFINITY, 1.0);
+        assert_eq!(b.out_of_range(), 4);
+        assert!(b.series().is_empty());
+        // A later finite point still lands cleanly: the NaN never touched
+        // the bin's running summary.
+        b.add(0.5, 2.0);
+        assert_eq!(b.series(), vec![(0.75, 2.0, 1)]);
     }
 
     #[test]

@@ -11,6 +11,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     bins: Vec<f64>,
+    /// Weight from categories beyond `max_category`. Kept out of the bins
+    /// so the last in-range category is never inflated, but still part of
+    /// [`Histogram::total`] — nothing is silently dropped.
+    #[serde(default)]
+    overflow: f64,
 }
 
 impl Histogram {
@@ -18,14 +23,19 @@ impl Histogram {
     pub fn new(max_category: usize) -> Self {
         Histogram {
             bins: vec![0.0; max_category + 1],
+            overflow: 0.0,
         }
     }
 
-    /// Adds `weight` to `category`. Categories beyond the configured range
-    /// are clamped into the last bin so that nothing is silently dropped.
+    /// Adds `weight` to `category`. Weight for categories beyond the
+    /// configured range accumulates in the overflow tally
+    /// ([`Histogram::overflow`]) rather than being clamped into the last
+    /// bin, which would misattribute it to `max_category`.
     pub fn add(&mut self, category: usize, weight: f64) {
-        let idx = category.min(self.bins.len() - 1);
-        self.bins[idx] += weight;
+        match self.bins.get_mut(category) {
+            Some(bin) => *bin += weight,
+            None => self.overflow += weight,
+        }
     }
 
     /// Weight accumulated in `category` (0 when out of range).
@@ -33,9 +43,14 @@ impl Histogram {
         self.bins.get(category).copied().unwrap_or(0.0)
     }
 
-    /// Total accumulated weight.
+    /// Weight accumulated from categories beyond `max_category`.
+    pub fn overflow(&self) -> f64 {
+        self.overflow
+    }
+
+    /// Total accumulated weight, overflow included.
     pub fn total(&self) -> f64 {
-        self.bins.iter().sum()
+        self.bins.iter().sum::<f64>() + self.overflow
     }
 
     /// Category holding the most weight, breaking ties toward the smaller
@@ -51,6 +66,8 @@ impl Histogram {
     }
 
     /// Fraction of total weight in categories `> threshold`; 0 if empty.
+    /// Overflow weight came from categories beyond `max_category`, so it
+    /// always counts as above the threshold.
     ///
     /// The paper's Figure 2 observation — "essentially no wall clock time
     /// consumed by jobs requesting more than 64 nodes" — is this quantity
@@ -67,7 +84,7 @@ impl Histogram {
             .filter(|(i, _)| *i > threshold)
             .map(|(_, &w)| w)
             .sum();
-        above / total
+        (above + self.overflow) / total
     }
 
     /// All `(category, weight)` pairs with nonzero weight.
@@ -110,11 +127,27 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_clamps_to_last_bin() {
+    fn out_of_range_accumulates_in_overflow_not_last_bin() {
         let mut h = Histogram::new(10);
         h.add(99, 5.0);
-        assert_eq!(h.weight(10), 5.0);
+        h.add(11, 2.0);
+        assert_eq!(h.weight(10), 0.0);
         assert_eq!(h.weight(99), 0.0);
+        assert_eq!(h.overflow(), 7.0);
+        assert_eq!(h.total(), 7.0);
+        // Overflow stays out of the per-category views.
+        assert_eq!(h.nonzero().count(), 0);
+        assert_eq!(h.mode(), None);
+        assert!(h.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn fraction_above_counts_overflow_as_above() {
+        let mut h = Histogram::new(10);
+        h.add(5, 90.0);
+        h.add(64, 10.0); // beyond max_category -> overflow
+        assert!((h.fraction_above(7) - 0.1).abs() < 1e-12);
+        assert!((h.fraction_above(10) - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Low-frequency metrics with runtime-built names.
+//!
+//! Static atomics cover the hot paths, but some readings are keyed by
+//! values only known at runtime — per-experiment wall time
+//! (`core.experiment.table2`), per-dataset artifact sizes. Those happen
+//! a handful of times per process, so a mutexed ordered map is fine.
+//! Names sort lexicographically at collection time so snapshots stay
+//! deterministic regardless of recording order.
+
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static DYNAMIC: Mutex<BTreeMap<String, MetricValue>> = Mutex::new(BTreeMap::new());
+
+fn with_map<R>(f: impl FnOnce(&mut BTreeMap<String, MetricValue>) -> R) -> R {
+    // A poisoned map only loses metrics, never simulation state; recover
+    // rather than propagate a panic into an otherwise healthy campaign.
+    let mut guard = match DYNAMIC.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+/// Adds `n` to the named counter (no-op while tracing is disabled).
+pub fn add(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_map(|m| {
+        let slot = m.entry(name.to_string()).or_insert(MetricValue::Count(0));
+        if let MetricValue::Count(v) = slot {
+            *v += n;
+        } else {
+            *slot = MetricValue::Count(n);
+        }
+    });
+}
+
+/// Records the named gauge (no-op while tracing is disabled).
+pub fn set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_map(|m| {
+        m.insert(name.to_string(), MetricValue::Value(v));
+    });
+}
+
+/// Accumulates `ns` nanoseconds of span time under the name (no-op
+/// while tracing is disabled).
+pub fn record_ns(name: &str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_map(|m| {
+        let slot = m.entry(name.to_string()).or_insert(MetricValue::Duration {
+            total_ns: 0,
+            count: 0,
+        });
+        if let MetricValue::Duration { total_ns, count } = slot {
+            *total_ns += ns;
+            *count += 1;
+        } else {
+            *slot = MetricValue::Duration {
+                total_ns: ns,
+                count: 1,
+            };
+        }
+    });
+}
+
+/// Appends every dynamic reading to `snap`, in name order.
+pub fn collect(snap: &mut MetricsSnapshot) {
+    with_map(|m| {
+        for (name, value) in m.iter() {
+            snap.push(name.clone(), value.clone());
+        }
+    });
+}
+
+/// Drops all dynamic readings.
+pub fn reset() {
+    with_map(|m| m.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::FLAG_LOCK;
+
+    #[test]
+    fn dynamic_roundtrip_and_reset() {
+        let _g = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        reset();
+        add("dyn.count", 2);
+        add("dyn.count", 3);
+        set("dyn.gauge", 4.5);
+        record_ns("dyn.span", 1_000);
+        record_ns("dyn.span", 500);
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        assert_eq!(snap.get("dyn.count"), Some(&MetricValue::Count(5)));
+        assert_eq!(snap.get("dyn.gauge"), Some(&MetricValue::Value(4.5)));
+        assert_eq!(
+            snap.get("dyn.span"),
+            Some(&MetricValue::Duration {
+                total_ns: 1_500,
+                count: 2
+            })
+        );
+        // Names come back sorted regardless of recording order.
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+
+        reset();
+        let mut empty = MetricsSnapshot::new();
+        collect(&mut empty);
+        assert!(empty.is_empty());
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_dynamic_records_nothing() {
+        let _g = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        reset();
+        add("dyn.off", 1);
+        set("dyn.off.g", 1.0);
+        record_ns("dyn.off.t", 1);
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        assert!(snap.is_empty());
+    }
+}

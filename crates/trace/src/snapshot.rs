@@ -1,0 +1,173 @@
+//! Point-in-time metric collections and their text rendering.
+
+use std::fmt::Write as _;
+
+/// One collected metric reading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic event count (counters, high-water marks).
+    Count(u64),
+    /// An instantaneous value (gauges, derived rates).
+    Value(f64),
+    /// Accumulated wall time over `count` spans.
+    Duration { total_ns: u64, count: u64 },
+}
+
+impl MetricValue {
+    /// The reading as `f64` (durations read as total milliseconds).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            MetricValue::Count(n) => n as f64,
+            MetricValue::Value(v) => v,
+            MetricValue::Duration { total_ns, .. } => total_ns as f64 / 1e6,
+        }
+    }
+
+    /// The event count, when this is a count.
+    pub fn as_count(&self) -> Option<u64> {
+        match *self {
+            MetricValue::Count(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered list of named readings, in collection order (subsystems
+/// collect in a fixed sequence, so rendering is deterministic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Appends a reading (replacing an earlier reading of the same name
+    /// so repeated collection passes stay unambiguous).
+    pub fn push(&mut self, name: impl Into<String>, value: MetricValue) {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Looks a reading up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All readings in collection order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Number of readings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no readings.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Readings whose names start with `prefix`, in collection order.
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a MetricValue)> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Renders an aligned `name  value` table, durations as
+    /// `total_ms (count)`.
+    pub fn render_text(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let _ = write!(out, "{name:<width$}  ");
+            match *value {
+                MetricValue::Count(n) => {
+                    let _ = writeln!(out, "{n}");
+                }
+                MetricValue::Value(v) => {
+                    let _ = writeln!(out, "{v:.3}");
+                }
+                MetricValue::Duration { total_ns, count } => {
+                    let _ = writeln!(out, "{:.3} ms  ({count} spans)", total_ns as f64 / 1e6);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_and_replace() {
+        let mut s = MetricsSnapshot::new();
+        s.push("a.count", MetricValue::Count(2));
+        s.push("a.rate", MetricValue::Value(0.5));
+        s.push("a.count", MetricValue::Count(3));
+        assert_eq!(s.len(), 2, "same-name push replaces");
+        assert_eq!(s.get("a.count"), Some(&MetricValue::Count(3)));
+        assert!(s.get("missing").is_none());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn prefix_filter_preserves_order() {
+        let mut s = MetricsSnapshot::new();
+        s.push("pbs.submitted", MetricValue::Count(1));
+        s.push("cluster.events", MetricValue::Count(2));
+        s.push("pbs.requeued", MetricValue::Count(3));
+        let names: Vec<&str> = s.with_prefix("pbs.").map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["pbs.submitted", "pbs.requeued"]);
+    }
+
+    #[test]
+    fn text_rendering_is_aligned_and_complete() {
+        let mut s = MetricsSnapshot::new();
+        s.push("x", MetricValue::Count(7));
+        s.push(
+            "longer.name",
+            MetricValue::Duration {
+                total_ns: 2_500_000,
+                count: 4,
+            },
+        );
+        let text = s.render_text();
+        assert!(text.contains("x            7"), "{text}");
+        assert!(text.contains("2.500 ms  (4 spans)"), "{text}");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(MetricValue::Count(4).as_f64(), 4.0);
+        assert_eq!(MetricValue::Count(4).as_count(), Some(4));
+        assert_eq!(MetricValue::Value(1.5).as_f64(), 1.5);
+        assert!(MetricValue::Value(1.5).as_count().is_none());
+        let d = MetricValue::Duration {
+            total_ns: 3_000_000,
+            count: 1,
+        };
+        assert_eq!(d.as_f64(), 3.0);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert!(MetricsSnapshot::new().render_text().is_empty());
+        assert!(MetricsSnapshot::new().is_empty());
+    }
+}

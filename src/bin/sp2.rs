@@ -13,6 +13,8 @@
 //! sp2 availability --faults 0.05   # fault impact vs a fault-free twin
 //! sp2 probe matmul                 # run one kernel under the HPM
 //! sp2 campaign --days 270 -j 0     # everything, in parallel, with artifacts
+//! sp2 profile --days 30            # self-measurement report of the run
+//! sp2 table2 --metrics m.json      # any command + metrics dump afterwards
 //! ```
 //!
 //! Exit codes are per error class so scripts can tell a typo from a
@@ -20,7 +22,7 @@
 //! configuration, 5 campaign spec, 6 campaign engine, 7 artifact i/o.
 
 use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
-use sp2_repro::core::{export, Sp2Error, Sp2System};
+use sp2_repro::core::{export, metrics, Sp2Error, Sp2System};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -44,6 +46,8 @@ COMMANDS:
     summary                              headline statistics vs the paper
     probe <matmul|naive|cfd|bt|seq>      run one kernel under the HPM
     campaign                             all of the above + JSON artifacts
+    profile                              campaign under the trace layer, then
+                                         print the self-measurement report
     list                                 list registered experiments
 
 OPTIONS:
@@ -54,7 +58,10 @@ OPTIONS:
     --faults RATE   fault-injection rate (default 0 = fault-free; 1.0 is
                     roughly a troubled production month)
     --fault-seed N  seed for the fault plan (default 4096)
-    --json          print the dataset as JSON instead of the text rendering
+    --json          print the dataset (or profile metrics) as JSON
+    --metrics [PATH] enable the trace layer for any command; after it
+                    finishes, write the metrics JSON to PATH, or print the
+                    metrics table to stderr when PATH is omitted
 
 EXIT CODES:
     0 ok   2 usage   3 unknown experiment   4 cluster config
@@ -102,6 +109,9 @@ struct Args {
     faults: f64,
     fault_seed: u64,
     json: bool,
+    /// `None` = tracing off; `Some(None)` = `--metrics` (table to stderr);
+    /// `Some(Some(path))` = `--metrics PATH` (JSON to the file).
+    metrics: Option<Option<String>>,
 }
 
 fn available_parallelism() -> usize {
@@ -109,7 +119,7 @@ fn available_parallelism() -> usize {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
     let command = argv.next().ok_or_else(|| USAGE.to_string())?;
     let mut args = Args {
         command,
@@ -119,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         faults: 0.0,
         fault_seed: 4_096,
         json: false,
+        metrics: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -155,6 +166,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("bad --fault-seed value: {v}"))?;
             }
             "--json" => args.json = true,
+            "--metrics" => {
+                // The optional PATH is whatever non-option token follows.
+                args.metrics = Some(argv.next_if(|v| !v.starts_with('-')));
+            }
             other if args.arg.is_none() && !other.starts_with('-') => {
                 args.arg = Some(other.to_string());
             }
@@ -209,8 +224,37 @@ fn probe(kernel_name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the metrics snapshot where `--metrics` asked for it: JSON to a
+/// file, or the plain text table to stderr (keeping stdout clean for the
+/// dataset the command printed).
+fn dump_metrics(dest: Option<&str>) -> Result<(), CliError> {
+    let snap = metrics::snapshot();
+    match dest {
+        Some(path) => {
+            let body = metrics::to_json(&snap).to_string_pretty();
+            std::fs::write(path, body + "\n").map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+            eprintln!("metrics written to {path}");
+        }
+        None => eprint!("{}", snap.render_text()),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args = parse_args().map_err(CliError::Usage)?;
+    // The trace layer stays off (one relaxed atomic load per record site)
+    // unless this invocation actually wants measurements.
+    if args.metrics.is_some() || args.command == "profile" {
+        sp2_repro::trace::set_enabled(true);
+    }
+    dispatch(&args)?;
+    if let Some(dest) = &args.metrics {
+        dump_metrics(dest.as_deref())?;
+    }
+    Ok(())
+}
+
+fn dispatch(args: &Args) -> Result<(), CliError> {
     let cmd = args.command.as_str();
 
     match cmd {
@@ -241,7 +285,7 @@ fn run() -> Result<(), CliError> {
         .fault_seed(args.fault_seed)
         .build();
 
-    if cmd == "campaign" {
+    if cmd == "campaign" || cmd == "profile" {
         eprintln!(
             "running a {}-day campaign on {} thread(s){}…",
             args.days,
@@ -257,10 +301,20 @@ fn run() -> Result<(), CliError> {
             }
         );
         for dataset in sys.run_all()? {
-            println!("{}", dataset.rendered);
+            if cmd == "campaign" {
+                println!("{}", dataset.rendered);
+            }
             dataset.write_artifact()?;
         }
         eprintln!("artifacts written to {}", export::artifacts_dir().display());
+        if cmd == "profile" {
+            let snap = metrics::snapshot();
+            if args.json {
+                println!("{}", metrics::to_json(&snap).to_string_pretty());
+            } else {
+                print!("{}", metrics::profile_report(&snap));
+            }
+        }
         return Ok(());
     }
 
