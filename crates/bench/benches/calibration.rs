@@ -32,6 +32,22 @@ fn bench(c: &mut Criterion) {
         b.iter(|| Node::with_seed(machine, 1).run_kernel(&cfd))
     });
     g.finish();
+
+    // Long streaming/tiled kernels: the steady-state fast-forward's home
+    // turf. `run_kernel` (fast-forward on) vs `run_kernel_full`
+    // (cycle-by-cycle) on the same 2M-iteration kernel — the ≥10×
+    // headline speedup lives in the ratio of these two.
+    let long_mm = blocked_matmul_kernel(2_000_000);
+    let mut g = c.benchmark_group("node-simulator-long");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(long_mm.dynamic_instructions()));
+    g.bench_function("blocked_matmul_2m_iters_fast_forward", |b| {
+        b.iter(|| Node::with_seed(machine, 1).run_kernel(&long_mm))
+    });
+    g.bench_function("blocked_matmul_2m_iters_full", |b| {
+        b.iter(|| Node::with_seed(machine, 1).run_kernel_full(&long_mm))
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench);

@@ -371,6 +371,14 @@ pub fn run_campaign(
         }
     };
 
+    // Advance-tick chunk size, hoisted out of the event loop: the node
+    // count is fixed for the whole campaign, so deriving it (and
+    // allocating a chunk list) on every sample tick was pure waste.
+    let advance_chunk = nodes
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
+
     while let Some(Reverse(Scheduled { t, ev, .. })) = heap.pop() {
         if t > horizon {
             break;
@@ -462,12 +470,7 @@ pub fn run_campaign(
                         // while still summing all on-worker time.
                         // Chunking never changes results — nodes are
                         // independent and each advances exactly once.
-                        let per_worker = nodes
-                            .len()
-                            .div_ceil(rayon::current_num_threads().max(1))
-                            .max(1);
-                        let mut chunks: Vec<_> = nodes.chunks_mut(per_worker).collect();
-                        chunks.par_iter_mut().for_each(|chunk| {
+                        nodes.par_chunks_mut(advance_chunk).for_each(|chunk| {
                             let t0 = std::time::Instant::now();
                             for n in chunk.iter_mut() {
                                 n.advance(t);

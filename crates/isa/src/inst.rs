@@ -13,7 +13,7 @@ pub const MAX_SRCS: usize = 3;
 /// (`mem_slot`) in the enclosing kernel; the simulator resolves the slot to
 /// a virtual address at replay time, so the same body can walk arbitrarily
 /// large arrays without materializing a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Inst {
     /// The operation.
     pub op: Op,

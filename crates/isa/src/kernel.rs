@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// the end of DO-loops seem to dominate the number of instructions executed
 /// by the ICU" — i.e. the unit of modeling is an inner loop nest with a
 /// characteristic instruction mix and address pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Kernel {
     /// Human-readable kernel name (appears in reports and signatures).
     pub name: String,

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The address pattern an [`AddrGen`] follows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AddrPattern {
     /// Always the same address (a scalar in memory).
     Fixed { addr: u64 },
@@ -39,7 +39,7 @@ pub enum AddrPattern {
 }
 
 /// A stateful generator producing the address stream of one array walk.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AddrGen {
     pattern: AddrPattern,
     /// Linear position within the pattern; its meaning varies per pattern

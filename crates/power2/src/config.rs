@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// FPU dispatch policy (ablation: the paper attributes the 1.7 FPU0/FPU1
 /// ratio to the FPU0-first policy plus dependency-limited ILP).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FpuDispatch {
     /// The POWER2 policy: send to FPU0 until a dependency or multicycle
     /// op ties it up, then fall over to FPU1.

@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod node;
 pub mod sigcache;
 pub mod signature;
+pub mod steady;
 pub mod tlb;
 
 pub use cache::{AccessOutcome, Cache, CacheConfig, WritePolicy};
@@ -47,4 +48,5 @@ pub use config::{FpuDispatch, MachineConfig};
 pub use node::{Node, RunStats};
 pub use sigcache::SignatureCache;
 pub use signature::{measure_on_fresh_node, KernelSignature};
+pub use steady::{fast_forward_enabled, set_fast_forward_enabled, FastForwardReport};
 pub use tlb::Tlb;

@@ -8,10 +8,29 @@
 //! snapshot here.
 
 use crate::sigcache::SignatureCache;
+use crate::steady::FastForwardReport;
 use sp2_trace::{Counter, MetricValue, MetricsSnapshot, Timer};
 
 /// Kernels cycle-simulated by [`crate::node::Node::run_kernel`].
 pub static KERNEL_RUNS: Counter = Counter::new("power2.kernel_runs");
+
+/// Kernel runs where the steady-state detector found a period and
+/// fast-forwarded ([`crate::steady`]).
+pub static FF_DETECTED: Counter = Counter::new("power2.fastforward.detected_runs");
+
+/// Kernel runs where the detector engaged but gave up (aperiodic state),
+/// falling back to full cycle-by-cycle simulation.
+pub static FF_FALLBACK: Counter = Counter::new("power2.fastforward.fallback_runs");
+
+/// Loop iterations actually stepped through the dispatch loop.
+pub static FF_ITERS_SIMULATED: Counter = Counter::new("power2.fastforward.iters_simulated");
+
+/// Loop iterations accounted for algebraically instead of stepped.
+pub static FF_ITERS_EXTRAPOLATED: Counter = Counter::new("power2.fastforward.iters_extrapolated");
+
+/// Total iterations the detector ran before confirming a period, summed
+/// over detected runs (divide by `detected_runs` for the mean latency).
+pub static FF_DETECT_LATENCY: Counter = Counter::new("power2.fastforward.detect_latency_iters");
 
 /// Simulated POWER2 cycles across all kernel runs (the numerator of
 /// simulated-cycle throughput; divide by [`MEASURE`] wall time).
@@ -21,6 +40,22 @@ pub static SIMULATED_CYCLES: Counter = Counter::new("power2.simulated_cycles");
 /// (the signature cache's miss path).
 pub static MEASURE: Timer = Timer::new("power2.signature_measure");
 
+/// Folds one kernel run's fast-forward outcome into the counters.
+/// Called once per `run_kernel`, never inside the dispatch loop.
+pub(crate) fn record_fast_forward(r: &FastForwardReport) {
+    FF_ITERS_SIMULATED.add(r.simulated_iters);
+    if !r.engaged {
+        return;
+    }
+    if r.detected() {
+        FF_DETECTED.inc();
+        FF_ITERS_EXTRAPOLATED.add(r.extrapolated_iters);
+        FF_DETECT_LATENCY.add(r.detected_at_iter + 1);
+    } else {
+        FF_FALLBACK.inc();
+    }
+}
+
 /// Appends the node simulator's readings — including the process-wide
 /// signature cache's hit/miss/eviction tallies and the derived hit rate
 /// and simulated-cycle throughput — to `snap`.
@@ -28,6 +63,10 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     let cache = SignatureCache::global();
     snap.push("power2.sigcache.hits", MetricValue::Count(cache.hits()));
     snap.push("power2.sigcache.misses", MetricValue::Count(cache.misses()));
+    snap.push(
+        "power2.sigcache.coalesced",
+        MetricValue::Count(cache.coalesced()),
+    );
     snap.push(
         "power2.sigcache.evictions",
         MetricValue::Count(cache.evictions()),
@@ -48,6 +87,20 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     KERNEL_RUNS.observe(snap);
     SIMULATED_CYCLES.observe(snap);
     MEASURE.observe(snap);
+    FF_DETECTED.observe(snap);
+    FF_FALLBACK.observe(snap);
+    FF_ITERS_SIMULATED.observe(snap);
+    FF_ITERS_EXTRAPOLATED.observe(snap);
+    FF_DETECT_LATENCY.observe(snap);
+    let total_iters = FF_ITERS_SIMULATED.get() + FF_ITERS_EXTRAPOLATED.get();
+    snap.push(
+        "power2.fastforward.extrapolated_fraction",
+        MetricValue::Value(if total_iters == 0 {
+            0.0
+        } else {
+            FF_ITERS_EXTRAPOLATED.get() as f64 / total_iters as f64
+        }),
+    );
     let wall_s = MEASURE.total_ns() as f64 / 1e9;
     snap.push(
         "power2.simulated_cycles_per_sec",
@@ -65,6 +118,11 @@ pub fn reset() {
     KERNEL_RUNS.reset();
     SIMULATED_CYCLES.reset();
     MEASURE.reset();
+    FF_DETECTED.reset();
+    FF_FALLBACK.reset();
+    FF_ITERS_SIMULATED.reset();
+    FF_ITERS_EXTRAPOLATED.reset();
+    FF_DETECT_LATENCY.reset();
 }
 
 #[cfg(test)]
@@ -78,12 +136,19 @@ mod tests {
         for key in [
             "power2.sigcache.hits",
             "power2.sigcache.misses",
+            "power2.sigcache.coalesced",
             "power2.sigcache.evictions",
             "power2.sigcache.hit_rate",
             "power2.kernel_runs",
             "power2.simulated_cycles",
             "power2.signature_measure",
             "power2.simulated_cycles_per_sec",
+            "power2.fastforward.detected_runs",
+            "power2.fastforward.fallback_runs",
+            "power2.fastforward.iters_simulated",
+            "power2.fastforward.iters_extrapolated",
+            "power2.fastforward.detect_latency_iters",
+            "power2.fastforward.extrapolated_fraction",
         ] {
             assert!(snap.get(key).is_some(), "missing {key}");
         }

@@ -9,12 +9,13 @@
 
 use crate::cache::Cache;
 use crate::config::{FpuDispatch, MachineConfig};
+use crate::steady::{self, Detector, FastForwardReport, Verdict};
 use crate::tlb::{Tlb, TlbConfig};
 use serde::{Deserialize, Serialize};
 use sp2_hpm::{EventSet, Signal};
 use sp2_isa::op::{BrKind, FpOp, FxOp, Op};
 use sp2_isa::reg::SCOREBOARD_SLOTS;
-use sp2_isa::{Inst, Kernel};
+use sp2_isa::{AddrGen, Inst, Kernel};
 
 /// How many cycles of already-dispatched work the ICU's buffering lets
 /// dispatch run ahead of issue (dispatch queue elasticity).
@@ -67,6 +68,59 @@ pub struct Node {
 enum FxUnit {
     Fxu0,
     Fxu1,
+}
+
+/// Everything one loop iteration reads or writes besides the node's own
+/// caches/TLB/RNG: address generators, event accumulators, the register
+/// scoreboard, unit occupancy, and dispatch bookkeeping. Factored out of
+/// `run_kernel` so the steady-state detector can snapshot and
+/// shift-forward the whole machine state ([`crate::steady`]).
+#[derive(Debug, Clone)]
+pub(crate) struct LoopState {
+    pub(crate) gens: Vec<AddrGen>,
+    pub(crate) events: EventSet,
+    /// Per-register readiness (cycle at which the value is available).
+    pub(crate) ready: [u64; SCOREBOARD_SLOTS],
+    // Unit availability (cycle at which the unit can accept work).
+    pub(crate) fxu0_free: u64,
+    pub(crate) fxu1_free: u64,
+    pub(crate) fpu0_free: u64,
+    pub(crate) fpu1_free: u64,
+    pub(crate) fpu_rr_toggle: bool,
+    // Dispatch bookkeeping.
+    /// Current dispatch cycle.
+    pub(crate) cycle: u64,
+    pub(crate) disp_in_cycle: u64,
+    /// Global memory halt.
+    pub(crate) stall_until: u64,
+    /// In-order issue horizon.
+    pub(crate) last_issue: u64,
+    /// Completion horizon.
+    pub(crate) end_of_work: u64,
+    pub(crate) stall_cycles: u64,
+    pub(crate) instructions: u64,
+}
+
+impl LoopState {
+    fn new(kernel: &Kernel) -> Self {
+        LoopState {
+            gens: kernel.addr_gens.clone(),
+            events: EventSet::new(),
+            ready: [0; SCOREBOARD_SLOTS],
+            fxu0_free: 0,
+            fxu1_free: 0,
+            fpu0_free: 0,
+            fpu1_free: 0,
+            fpu_rr_toggle: false,
+            cycle: 0,
+            disp_in_cycle: 0,
+            stall_until: 0,
+            last_issue: 0,
+            end_of_work: 0,
+            stall_cycles: 0,
+            instructions: 0,
+        }
+    }
 }
 
 impl Node {
@@ -139,141 +193,193 @@ impl Node {
     /// let stats = node.run_kernel(&kernel);
     /// assert!(stats.mflops(&config) > 0.85 * config.peak_mflops());
     /// ```
+    /// When steady-state fast-forward is enabled (the default) and the
+    /// kernel is long enough, the run detects the loop's periodic steady
+    /// state and accounts for the remaining whole periods algebraically —
+    /// bit-identical to stepping them, but orders of magnitude faster on
+    /// periodic kernels ([`crate::steady`]). [`Node::run_kernel_full`]
+    /// forces the cycle-by-cycle path.
     pub fn run_kernel(&mut self, kernel: &Kernel) -> RunStats {
-        let mut gens = kernel.addr_gens.clone();
-        let mut events = EventSet::new();
-        let mut ready = [0u64; SCOREBOARD_SLOTS];
+        let detect = steady::fast_forward_enabled() && kernel.iters >= steady::MIN_ITERS;
+        self.run(kernel, detect).0
+    }
 
-        // Unit availability (cycle at which the unit can accept work).
-        let mut fxu0_free = 0u64;
-        let mut fxu1_free = 0u64;
-        let mut fpu0_free = 0u64;
-        let mut fpu1_free = 0u64;
-        let mut fpu_rr_toggle = false;
+    /// Replays `kernel` strictly cycle by cycle, never fast-forwarding.
+    /// The reference path the equivalence suite compares against.
+    pub fn run_kernel_full(&mut self, kernel: &Kernel) -> RunStats {
+        self.run(kernel, false).0
+    }
 
-        // Dispatch bookkeeping.
-        let mut cycle = 0u64; // current dispatch cycle
-        let mut disp_in_cycle = 0u64;
-        let mut stall_until = 0u64; // global memory halt
-        let mut last_issue = 0u64; // in-order issue horizon
-        let mut end_of_work = 0u64; // completion horizon
-        let mut stall_cycles = 0u64;
-        let mut instructions = 0u64;
+    /// Like [`Node::run_kernel`] but always engages the steady-state
+    /// detector (regardless of the global switch) and reports what it
+    /// did — for benchmarks, diagnostics, and the equivalence suite.
+    pub fn run_kernel_reported(&mut self, kernel: &Kernel) -> (RunStats, FastForwardReport) {
+        self.run(kernel, true)
+    }
 
-        let body = &kernel.body;
-        let fetch_groups_per_iter = (body.len() as u64).div_ceil(8);
+    /// State the steady-state detector fingerprints beyond [`LoopState`]:
+    /// the D-cache, the TLB, and the TLB-penalty RNG. (The I-cache is
+    /// modeled purely through events and never mutates during a run.)
+    pub(crate) fn steady_view(&self) -> (&Cache, &Tlb, u64) {
+        (&self.dcache, &self.tlb, self.rng)
+    }
+
+    fn run(&mut self, kernel: &Kernel, detect: bool) -> (RunStats, FastForwardReport) {
+        let mut st = LoopState::new(kernel);
+        let fetch_groups_per_iter = (kernel.body.len() as u64).div_ceil(8);
         let icache_lines = (self.config.icache.bytes / self.config.icache.line_bytes) as u32;
 
-        for iter in 0..kernel.iters {
-            // --- instruction fetch & I-cache ---------------------------
-            events.bump(Signal::InstFetches, fetch_groups_per_iter);
-            if iter == 0 {
-                // Cold code fetch: the whole routine footprint streams in.
-                events.bump(Signal::IcacheReload, kernel.code_lines as u64);
-            } else if kernel.routine_period > 0
-                && iter % kernel.routine_period as u64 == 0
-                && kernel.code_lines > 0
-            {
-                // Switching to another routine of the same code. Only a
-                // footprint larger than the I-cache actually refetches.
-                let total_footprint = kernel.code_lines.saturating_mul(2);
-                if total_footprint > icache_lines {
-                    events.bump(Signal::IcacheReload, kernel.code_lines as u64);
+        let mut report = FastForwardReport {
+            engaged: detect,
+            ..FastForwardReport::default()
+        };
+        let mut detector = detect.then(|| Detector::new(self, &st, kernel, icache_lines));
+
+        let mut iter = 0u64;
+        while iter < kernel.iters {
+            self.step_iteration(kernel, &mut st, iter, fetch_groups_per_iter, icache_lines);
+            if let Some(det) = detector.as_mut() {
+                match det.observe(self, &st, iter) {
+                    Verdict::Continue => {}
+                    Verdict::GiveUp => detector = None,
+                    Verdict::Periodic(period) => {
+                        let skipped = det.fast_forward(&mut st, iter, kernel.iters, period);
+                        report.period = period;
+                        report.detected_at_iter = iter;
+                        report.extrapolated_iters = skipped;
+                        iter += skipped;
+                        detector = None;
+                    }
                 }
             }
+            iter += 1;
+        }
+        report.simulated_iters = kernel.iters - report.extrapolated_iters;
 
-            for inst in body {
-                instructions += 1;
+        let cycles = st.end_of_work.max(st.cycle) + 1;
+        st.events.bump(Signal::Cycles, cycles);
+        st.events.bump(Signal::FxuStallCycles, st.stall_cycles);
+        crate::metrics::KERNEL_RUNS.inc();
+        crate::metrics::SIMULATED_CYCLES.add(cycles);
+        crate::metrics::record_fast_forward(&report);
+        (
+            RunStats {
+                events: st.events,
+                cycles,
+                instructions: st.instructions,
+                stall_cycles: st.stall_cycles,
+            },
+            report,
+        )
+    }
 
-                // --- dispatch ------------------------------------------
-                if disp_in_cycle >= self.config.dispatch_width {
-                    cycle += 1;
-                    disp_in_cycle = 0;
-                }
-                if stall_until > cycle {
-                    stall_cycles += stall_until - cycle;
-                    cycle = stall_until;
-                    disp_in_cycle = 0;
-                }
-                // Dispatch cannot run unboundedly ahead of issue.
-                if last_issue > cycle + DISPATCH_LEAD {
-                    cycle = last_issue - DISPATCH_LEAD;
-                    disp_in_cycle = 0;
-                }
-                let d = cycle;
-                disp_in_cycle += 1;
-
-                // --- operand readiness ---------------------------------
-                let mut r = d;
-                for src in inst.sources() {
-                    r = r.max(ready[src.flat_index()]);
-                }
-
-                // --- issue & execute ------------------------------------
-                let mut post_bubble = 0;
-                let (issue, done) = match inst.op {
-                    Op::Fx(fx) => self.exec_fx(
-                        fx,
-                        inst,
-                        &mut gens,
-                        &mut events,
-                        r,
-                        &mut fxu0_free,
-                        &mut fxu1_free,
-                        &mut stall_until,
-                    ),
-                    Op::Fp(fp) => Self::exec_fp(
-                        &self.config,
-                        fp,
-                        &mut events,
-                        r,
-                        &mut fpu0_free,
-                        &mut fpu1_free,
-                        &mut fpu_rr_toggle,
-                    ),
-                    Op::Br(kind) => {
-                        events.bump(Signal::IcuType1, 1);
-                        // Loop-back branches are effectively free (the
-                        // ICU refetches the loop top); data-dependent
-                        // conditional branches (flux limiters) stall the
-                        // in-order front end until resolved.
-                        if kind == BrKind::Cond {
-                            post_bubble = 3;
-                        }
-                        (r, r)
-                    }
-                    Op::CondReg => {
-                        events.bump(Signal::IcuType2, 1);
-                        (r, r + 1)
-                    }
-                };
-
-                // In-order issue: never issue before a predecessor; a
-                // resolving conditional branch additionally holds up
-                // everything behind it.
-                let issue = issue.max(last_issue) + post_bubble;
-                last_issue = issue;
-                end_of_work = end_of_work.max(done);
-
-                if let Some(dst) = inst.dst {
-                    ready[dst.flat_index()] = done;
-                }
-                if let Some(dst2) = inst.dst2 {
-                    ready[dst2.flat_index()] = done;
-                }
+    /// Steps one loop iteration through fetch, dispatch, and execute.
+    fn step_iteration(
+        &mut self,
+        kernel: &Kernel,
+        st: &mut LoopState,
+        iter: u64,
+        fetch_groups_per_iter: u64,
+        icache_lines: u32,
+    ) {
+        // --- instruction fetch & I-cache ---------------------------
+        st.events.bump(Signal::InstFetches, fetch_groups_per_iter);
+        if iter == 0 {
+            // Cold code fetch: the whole routine footprint streams in.
+            st.events
+                .bump(Signal::IcacheReload, kernel.code_lines as u64);
+        } else if kernel.routine_period > 0
+            && iter.is_multiple_of(kernel.routine_period as u64)
+            && kernel.code_lines > 0
+        {
+            // Switching to another routine of the same code. Only a
+            // footprint larger than the I-cache actually refetches.
+            let total_footprint = kernel.code_lines.saturating_mul(2);
+            if total_footprint > icache_lines {
+                st.events
+                    .bump(Signal::IcacheReload, kernel.code_lines as u64);
             }
         }
 
-        let cycles = end_of_work.max(cycle) + 1;
-        events.bump(Signal::Cycles, cycles);
-        events.bump(Signal::FxuStallCycles, stall_cycles);
-        crate::metrics::KERNEL_RUNS.inc();
-        crate::metrics::SIMULATED_CYCLES.add(cycles);
-        RunStats {
-            events,
-            cycles,
-            instructions,
-            stall_cycles,
+        for inst in &kernel.body {
+            st.instructions += 1;
+
+            // --- dispatch ------------------------------------------
+            if st.disp_in_cycle >= self.config.dispatch_width {
+                st.cycle += 1;
+                st.disp_in_cycle = 0;
+            }
+            if st.stall_until > st.cycle {
+                st.stall_cycles += st.stall_until - st.cycle;
+                st.cycle = st.stall_until;
+                st.disp_in_cycle = 0;
+            }
+            // Dispatch cannot run unboundedly ahead of issue.
+            if st.last_issue > st.cycle + DISPATCH_LEAD {
+                st.cycle = st.last_issue - DISPATCH_LEAD;
+                st.disp_in_cycle = 0;
+            }
+            let d = st.cycle;
+            st.disp_in_cycle += 1;
+
+            // --- operand readiness ---------------------------------
+            let mut r = d;
+            for src in inst.sources() {
+                r = r.max(st.ready[src.flat_index()]);
+            }
+
+            // --- issue & execute ------------------------------------
+            let mut post_bubble = 0;
+            let (issue, done) = match inst.op {
+                Op::Fx(fx) => self.exec_fx(
+                    fx,
+                    inst,
+                    &mut st.gens,
+                    &mut st.events,
+                    r,
+                    &mut st.fxu0_free,
+                    &mut st.fxu1_free,
+                    &mut st.stall_until,
+                ),
+                Op::Fp(fp) => Self::exec_fp(
+                    &self.config,
+                    fp,
+                    &mut st.events,
+                    r,
+                    &mut st.fpu0_free,
+                    &mut st.fpu1_free,
+                    &mut st.fpu_rr_toggle,
+                ),
+                Op::Br(kind) => {
+                    st.events.bump(Signal::IcuType1, 1);
+                    // Loop-back branches are effectively free (the
+                    // ICU refetches the loop top); data-dependent
+                    // conditional branches (flux limiters) stall the
+                    // in-order front end until resolved.
+                    if kind == BrKind::Cond {
+                        post_bubble = 3;
+                    }
+                    (r, r)
+                }
+                Op::CondReg => {
+                    st.events.bump(Signal::IcuType2, 1);
+                    (r, r + 1)
+                }
+            };
+
+            // In-order issue: never issue before a predecessor; a
+            // resolving conditional branch additionally holds up
+            // everything behind it.
+            let issue = issue.max(st.last_issue) + post_bubble;
+            st.last_issue = issue;
+            st.end_of_work = st.end_of_work.max(done);
+
+            if let Some(dst) = inst.dst {
+                st.ready[dst.flat_index()] = done;
+            }
+            if let Some(dst2) = inst.dst2 {
+                st.ready[dst2.flat_index()] = done;
+            }
         }
     }
 

@@ -8,10 +8,19 @@
 //! pure function of (kernel, machine config, seed), its results can be
 //! shared across threads for the lifetime of the process.
 //!
-//! Keys are the `Debug` rendering of the full measurement input. That
-//! covers every field that can influence the simulation (including
-//! `iters` and the memory layout), and comparing full strings rather
-//! than hashes rules out collisions entirely.
+//! Two properties keep the lookup itself off the profile:
+//!
+//! - **Cheap keys.** The table is sharded and keyed by a 128-bit FNV-1a
+//!   hash of the measurement input's `Hash` encoding — no more formatting
+//!   the full `Debug` string on every lookup. The hash is a performance
+//!   device only: each bucket stores the full `(kernel, config, seed)`
+//!   key and verifies it on hit, so even a 128-bit collision degrades to
+//!   a bucket scan, never to a wrong answer.
+//! - **Single-flight misses.** Concurrent threads requesting the same
+//!   uncached key elect one leader to run the simulator; the rest block
+//!   on the in-flight slot and receive the leader's result (counted as
+//!   `coalesced`). If the leader unwinds without publishing, the slot is
+//!   abandoned and the waiters re-elect.
 
 use crate::config::MachineConfig;
 use crate::node::Node;
@@ -19,16 +28,139 @@ use crate::signature::KernelSignature;
 use parking_lot::Mutex;
 use sp2_isa::Kernel;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, OnceLock};
+
+const SHARDS: usize = 16;
+
+/// 128-bit FNV-1a. Only [`Fnv128::finish128`] is used for keys; the
+/// `Hasher` impl exists so `Hash` types can feed it their encoding.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn finish128(&self) -> u128 {
+        self.0
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 as u64
+    }
+}
+
+/// Lifecycle of one measurement.
+#[derive(Debug)]
+enum SlotState {
+    /// A leader thread is running the simulator.
+    InFlight,
+    /// The measurement is published.
+    Done(Box<KernelSignature>),
+    /// The leader unwound without publishing; waiters must re-elect.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: StdMutex<SlotState>,
+    cond: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: StdMutex::new(SlotState::InFlight),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Locks the state; a poisoned lock is fine to enter because every
+    /// state transition is a single assignment (no torn invariants).
+    fn lock_state(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One bucket entry: the full key (hash collisions coexist in the bucket
+/// `Vec` and are disambiguated here) plus the measurement slot.
+#[derive(Debug)]
+struct Entry {
+    kernel: Kernel,
+    config: MachineConfig,
+    seed: u64,
+    slot: Arc<Slot>,
+}
+
+impl Entry {
+    fn matches(&self, kernel: &Kernel, config: &MachineConfig, seed: u64) -> bool {
+        self.seed == seed && &self.config == config && &self.kernel == kernel
+    }
+}
+
+type Shard = Mutex<HashMap<u128, Vec<Entry>>>;
 
 /// Shared memo table for signature measurements.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SignatureCache {
-    map: Mutex<HashMap<String, KernelSignature>>,
+    shards: [Shard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     evictions: AtomicU64,
+}
+
+impl Default for SignatureCache {
+    fn default() -> Self {
+        SignatureCache {
+            shards: std::array::from_fn(|_| Shard::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Retracts an in-flight entry if the leader unwinds before publishing,
+/// waking waiters so they can re-elect a leader.
+struct InFlightGuard<'a> {
+    cache: &'a SignatureCache,
+    hash: u128,
+    slot: &'a Arc<Slot>,
+    published: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut map = self.cache.shard(self.hash).lock();
+        if let Some(bucket) = map.get_mut(&self.hash) {
+            bucket.retain(|e| !Arc::ptr_eq(&e.slot, self.slot));
+            if bucket.is_empty() {
+                map.remove(&self.hash);
+            }
+        }
+        drop(map);
+        *self.slot.lock_state() = SlotState::Abandoned;
+        self.slot.cond.notify_all();
+    }
 }
 
 impl SignatureCache {
@@ -49,36 +181,115 @@ impl SignatureCache {
 
     /// Measures `kernel` on a fresh node with `config` and `seed`,
     /// returning a memoized result when an identical measurement has
-    /// already run (in any thread).
+    /// already run (in any thread). Concurrent requests for the same
+    /// uncached key coalesce onto a single in-flight simulation.
     pub fn measure(&self, kernel: &Kernel, config: &MachineConfig, seed: u64) -> KernelSignature {
-        let key = Self::key(kernel, config, seed);
-        if let Some(sig) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return sig.clone();
+        let hash = Self::key_hash(kernel, config, seed);
+        loop {
+            let (slot, leader) = {
+                let mut map = self.shard(hash).lock();
+                let bucket = map.entry(hash).or_default();
+                match bucket.iter().find(|e| e.matches(kernel, config, seed)) {
+                    Some(e) => (Arc::clone(&e.slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        bucket.push(Entry {
+                            kernel: kernel.clone(),
+                            config: *config,
+                            seed,
+                            slot: Arc::clone(&slot),
+                        });
+                        (slot, true)
+                    }
+                }
+            };
+
+            if leader {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let mut guard = InFlightGuard {
+                    cache: self,
+                    hash,
+                    slot: &slot,
+                    published: false,
+                };
+                let sig = {
+                    let _span = crate::metrics::MEASURE.span();
+                    let mut node = Node::with_seed(*config, seed);
+                    KernelSignature::measure(&mut node, kernel)
+                };
+                *slot.lock_state() = SlotState::Done(Box::new(sig.clone()));
+                guard.published = true;
+                slot.cond.notify_all();
+                return sig;
+            }
+
+            let mut state = slot.lock_state();
+            let mut waited = false;
+            loop {
+                match &*state {
+                    SlotState::Done(sig) => {
+                        let counter = if waited { &self.coalesced } else { &self.hits };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        return (**sig).clone();
+                    }
+                    SlotState::Abandoned => break,
+                    SlotState::InFlight => {
+                        waited = true;
+                        state = slot.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+            // The leader unwound without publishing — re-elect.
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Simulate outside the lock: measurements are expensive and
-        // deterministic, so a racing duplicate costs time, not
-        // correctness — last writer inserts an identical value.
-        let _span = crate::metrics::MEASURE.span();
-        let mut node = Node::with_seed(*config, seed);
-        let sig = KernelSignature::measure(&mut node, kernel);
-        self.map.lock().insert(key, sig.clone());
-        sig
     }
 
-    fn key(kernel: &Kernel, config: &MachineConfig, seed: u64) -> String {
-        format!("{seed:#x}|{config:?}|{kernel:?}")
+    fn shard(&self, hash: u128) -> &Shard {
+        &self.shards[(hash >> 124) as usize]
     }
 
-    /// Measurements answered from the memo table.
+    fn key_hash(kernel: &Kernel, config: &MachineConfig, seed: u64) -> u128 {
+        let mut h = Fnv128::new();
+        seed.hash(&mut h);
+        // `MachineConfig` holds an `f64` clock, so it can't derive `Hash`;
+        // feed the bit pattern and every other field explicitly.
+        config.clock_hz.to_bits().hash(&mut h);
+        config.dcache.hash(&mut h);
+        config.icache.hash(&mut h);
+        config.tlb_entries.hash(&mut h);
+        config.tlb_ways.hash(&mut h);
+        config.page_bytes.hash(&mut h);
+        config.dcache_miss_penalty.hash(&mut h);
+        config.tlb_penalty_min.hash(&mut h);
+        config.tlb_penalty_max.hash(&mut h);
+        config.dispatch_width.hash(&mut h);
+        config.fpu_latency.hash(&mut h);
+        config.fdiv_cycles.hash(&mut h);
+        config.fsqrt_cycles.hash(&mut h);
+        config.load_hit_latency.hash(&mut h);
+        config.imul_cycles.hash(&mut h);
+        config.idiv_cycles.hash(&mut h);
+        config.fxu0_miss_occupancy.hash(&mut h);
+        config.memory_bytes.hash(&mut h);
+        config.fpu_dispatch.hash(&mut h);
+        config.dcache_policy.hash(&mut h);
+        kernel.hash(&mut h);
+        h.finish128()
+    }
+
+    /// Measurements answered from an already-published entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Measurements that ran the simulator.
+    /// Measurements that ran the simulator (single-flight leaders).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Measurements that blocked on another thread's in-flight simulation
+    /// and received its result instead of duplicating the work.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// Cached measurements dropped over the cache's lifetime (the only
@@ -89,26 +300,45 @@ impl SignatureCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Distinct measurements currently cached.
+    /// Distinct published measurements currently cached (in-flight
+    /// entries don't count until their result lands).
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .flatten()
+                    .filter(|e| matches!(*e.slot.lock_state(), SlotState::Done(_)))
+                    .count()
+            })
+            .sum()
     }
 
-    /// Whether the cache holds no measurements.
+    /// Whether the cache holds no published measurements.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops all cached measurements and zeroes the hit/miss counters.
-    /// Every dropped entry counts as an eviction.
+    /// Drops all cached measurements and zeroes the hit/miss/coalesced
+    /// counters. Every dropped published entry counts as an eviction.
+    /// An in-flight leader keeps its slot alive through the `Arc` and
+    /// still delivers to its waiters; only the table forgets it.
     pub fn clear(&self) {
-        let mut map = self.map.lock();
-        self.evictions
-            .fetch_add(map.len() as u64, Ordering::Relaxed);
-        map.clear();
-        drop(map);
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            dropped += map
+                .values()
+                .flatten()
+                .filter(|e| matches!(*e.slot.lock_state(), SlotState::Done(_)))
+                .count() as u64;
+            map.clear();
+        }
+        self.evictions.fetch_add(dropped, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.coalesced.store(0, Ordering::Relaxed);
     }
 }
 
@@ -116,6 +346,7 @@ impl SignatureCache {
 mod tests {
     use super::*;
     use sp2_isa::KernelBuilder;
+    use std::sync::Barrier;
 
     fn tiny_kernel(name: &str, iters: u64) -> Kernel {
         let mut b = KernelBuilder::new(name);
@@ -175,6 +406,7 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.coalesced(), 0);
     }
 
     #[test]
@@ -207,5 +439,41 @@ mod tests {
         });
         assert_eq!(cache.hits(), 4);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.coalesced(), 0, "warm lookups never wait");
+    }
+
+    #[test]
+    fn concurrent_cold_misses_single_flight() {
+        // The old implementation let every racing thread simulate the
+        // same cold key ("a racing duplicate costs time, not
+        // correctness"). Single-flight turns that comment into an
+        // invariant: exactly one leader simulates, everyone else gets
+        // the leader's result.
+        const THREADS: u64 = 8;
+        let cache = SignatureCache::new();
+        let cfg = MachineConfig::nas_sp2();
+        let k = tiny_kernel("cold-rush", 2_000);
+        let barrier = Barrier::new(THREADS as usize);
+        let sigs: Vec<KernelSignature> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.measure(&k, &cfg, 11)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.misses(), 1, "exactly one thread simulated");
+        assert_eq!(
+            cache.hits() + cache.coalesced(),
+            THREADS - 1,
+            "everyone else was served from the single flight"
+        );
+        assert_eq!(cache.len(), 1);
+        for sig in &sigs[1..] {
+            assert_eq!(sig, &sigs[0]);
+        }
     }
 }

@@ -101,6 +101,41 @@ impl Tlb {
         false
     }
 
+    /// Whether two TLBs will behave identically on every future access
+    /// sequence — same geometry and, per set, the same resident page tags
+    /// in the same LRU order (raw stamps are monotonic and never compare
+    /// equal across loop iterations; only the recency *order* matters).
+    pub(crate) fn equivalent(&self, other: &Tlb) -> bool {
+        if self.config != other.config {
+            return false;
+        }
+        let ways = self.config.ways;
+        let mut a: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        let mut b: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        for set in 0..self.sets {
+            a.clear();
+            b.clear();
+            let base = set * ways;
+            for i in base..base + ways {
+                if self.valid[i] {
+                    a.push((self.stamp[i], self.tags[i]));
+                }
+                if other.valid[i] {
+                    b.push((other.stamp[i], other.tags[i]));
+                }
+            }
+            if a.len() != b.len() {
+                return false;
+            }
+            a.sort_unstable();
+            b.sort_unstable();
+            if !a.iter().zip(&b).all(|(&(_, ta), &(_, tb))| ta == tb) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Drops every translation (job start / address-space switch).
     pub fn flush(&mut self) {
         self.valid.fill(false);

@@ -58,6 +58,11 @@ OPTIONS:
     --faults RATE   fault-injection rate (default 0 = fault-free; 1.0 is
                     roughly a troubled production month)
     --fault-seed N  seed for the fault plan (default 4096)
+    --no-fast-forward
+                    disable the steady-state fast-forward in the node
+                    simulator and cycle-step every kernel iteration
+                    (A/B escape hatch; results are bit-identical either
+                    way, this only trades speed for paranoia)
     --json          print the dataset (or profile metrics) as JSON
     --metrics [PATH] enable the trace layer for any command; after it
                     finishes, write the metrics JSON to PATH, or print the
@@ -109,6 +114,7 @@ struct Args {
     faults: f64,
     fault_seed: u64,
     json: bool,
+    fast_forward: bool,
     /// `None` = tracing off; `Some(None)` = `--metrics` (table to stderr);
     /// `Some(Some(path))` = `--metrics PATH` (JSON to the file).
     metrics: Option<Option<String>>,
@@ -129,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
         faults: 0.0,
         fault_seed: 4_096,
         json: false,
+        fast_forward: true,
         metrics: None,
     };
     while let Some(a) = argv.next() {
@@ -166,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("bad --fault-seed value: {v}"))?;
             }
             "--json" => args.json = true,
+            "--no-fast-forward" => args.fast_forward = false,
             "--metrics" => {
                 // The optional PATH is whatever non-option token follows.
                 args.metrics = Some(argv.next_if(|v| !v.starts_with('-')));
@@ -246,6 +254,9 @@ fn run() -> Result<(), CliError> {
     // unless this invocation actually wants measurements.
     if args.metrics.is_some() || args.command == "profile" {
         sp2_repro::trace::set_enabled(true);
+    }
+    if !args.fast_forward {
+        sp2_repro::power2::set_fast_forward_enabled(false);
     }
     dispatch(&args)?;
     if let Some(dest) = &args.metrics {

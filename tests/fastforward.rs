@@ -1,0 +1,282 @@
+//! Equivalence suite for the steady-state fast-forward engine.
+//!
+//! The engine's contract (DESIGN.md "Steady-state fast-forward") is that
+//! extrapolating whole periods algebraically is *exact*: for every kernel
+//! — library, handler, and adversarial — the fast-forward path must
+//! produce `RunStats` (and therefore `KernelSignature`s) bit-identical to
+//! the cycle-by-cycle reference. Kernels whose state never becomes
+//! periodic (random access, unbounded strides, TLB-RNG draws) must fall
+//! back to full simulation and still agree trivially.
+//!
+//! These tests drive `run_kernel_full` / `run_kernel_reported` directly,
+//! which ignore the global enable switch — so they are safe under the
+//! parallel test harness. Only `global_switch_gates_measure` toggles the
+//! process-global flag, and it is a single test for that reason.
+
+use sp2_repro::isa::{Kernel, KernelBuilder};
+use sp2_repro::power2::handler::{daemon_sample_kernel, page_fault_handler_kernel};
+use sp2_repro::power2::{FastForwardReport, MachineConfig, Node};
+use sp2_repro::workload::kernels::{
+    blas3_kernel, blocked_matmul_kernel, cfd_kernel, naive_matmul_kernel, seqaccess_kernel,
+    spectral_kernel, CfdKernelParams,
+};
+
+/// Runs `kernel` through both paths on identically seeded nodes and
+/// asserts bit-identical results; returns the fast-forward report so
+/// callers can additionally assert detection or fallback.
+fn assert_equiv(kernel: &Kernel) -> FastForwardReport {
+    let cfg = MachineConfig::nas_sp2();
+    let full = Node::with_seed(cfg, 1998).run_kernel_full(kernel);
+    let (fast, report) = Node::with_seed(cfg, 1998).run_kernel_reported(kernel);
+    assert_eq!(
+        full, fast,
+        "{}: fast-forward diverged from full simulation (report {report:?})",
+        kernel.name
+    );
+    assert_eq!(
+        report.simulated_iters + report.extrapolated_iters,
+        kernel.iters,
+        "{}: iteration accounting wrong",
+        kernel.name
+    );
+    report
+}
+
+#[test]
+fn workload_library_kernels_are_exact() {
+    for kernel in [
+        blocked_matmul_kernel(30_000),
+        naive_matmul_kernel(20_000),
+        seqaccess_kernel(20_000),
+        blas3_kernel(20_000),
+        spectral_kernel("fft-small-stride", 8, 20_000),
+        spectral_kernel("fft-large-stride", 8192, 20_000),
+        cfd_kernel("cfd-default", &CfdKernelParams::default(), 8_000),
+        cfd_kernel("cfd-npb-bt", &CfdKernelParams::npb_bt(), 8_000),
+    ] {
+        assert_equiv(&kernel);
+    }
+}
+
+#[test]
+fn system_handler_kernels_are_exact() {
+    // The page-fault handler contains a random-access VMM walk, so its
+    // address state never repeats: the detector must fall back, and the
+    // results agree because nothing was extrapolated.
+    let fault = page_fault_handler_kernel(2_000);
+    let report = assert_equiv(&fault);
+    assert!(
+        report.engaged && !report.detected(),
+        "VMM walk is aperiodic"
+    );
+
+    let daemon = daemon_sample_kernel(2_000);
+    assert_equiv(&daemon);
+}
+
+#[test]
+fn register_resident_kernel_detects_with_short_period() {
+    // No memory traffic at all: the timing state repeats almost
+    // immediately, so nearly everything should be extrapolated.
+    let mut b = KernelBuilder::new("reg-resident");
+    let acc = b.fresh_fpr();
+    let x = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.int_alu();
+    b.loop_back();
+    let k = b.build(100_000);
+    let report = assert_equiv(&k);
+    assert!(report.detected(), "period-1 kernel must be detected");
+    assert!(
+        report.extrapolated_fraction() > 0.99,
+        "fraction {}",
+        report.extrapolated_fraction()
+    );
+}
+
+#[test]
+fn tiled_kernel_detects_with_long_period() {
+    // The tile wraps after tile/stride iterations — a long but finite
+    // period the doubling-window detector must still find.
+    let mut b = KernelBuilder::new("long-period-tile");
+    let t = b.tile_array(8, 64 * 1024); // 8192-iteration wrap
+    let x = b.load_double(t);
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    let k = b.build(200_000);
+    let report = assert_equiv(&k);
+    assert!(report.detected(), "tile wrap must be detected");
+}
+
+#[test]
+fn random_and_tlb_thrashing_kernels_fall_back() {
+    // Random pattern: the generator's LCG state never revisits a cycle
+    // within any practical window.
+    let mut b = KernelBuilder::new("random-walk");
+    let r = b.random_array(32 << 20, 8);
+    let x = b.load_double(r);
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    let report = assert_equiv(&b.build(30_000));
+    assert!(report.engaged && !report.detected());
+
+    // Page-stride stream over 32 MB: every access misses the TLB, so
+    // the node's penalty RNG advances every iteration and the state
+    // can't match until the 8192-page sequence wraps *and* the RNG
+    // aligns — effectively never.
+    let mut b = KernelBuilder::new("tlb-thrash");
+    let s = b.seq_array(4096, 32 << 20);
+    let x = b.load_double(s);
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    let report = assert_equiv(&b.build(30_000));
+    assert!(report.engaged && !report.detected());
+}
+
+#[test]
+fn unbounded_stride_never_matches() {
+    // Strided2D advances its cursor without wrapping, so no two
+    // iterations ever see the same address-generator state.
+    let mut b = KernelBuilder::new("strided-2d");
+    let s = b.strided_array(8, 16, 1024, 64 << 20);
+    let x = b.load_double(s);
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    let report = assert_equiv(&b.build(30_000));
+    assert!(report.engaged && !report.detected());
+}
+
+#[test]
+fn multicycle_and_branchy_kernels_are_exact() {
+    // Divide/sqrt occupancy and conditional-branch bubbles exercise the
+    // unit-free and issue-horizon components of the fingerprint.
+    let mut b = KernelBuilder::new("div-sqrt");
+    let a = b.fresh_fpr();
+    let c = b.fresh_fpr();
+    let d = b.fdiv(a, c);
+    let _ = b.fsqrt(d);
+    b.loop_back();
+    assert_equiv(&b.build(50_000));
+
+    let mut b = KernelBuilder::new("branchy");
+    let s = b.seq_array(8, 4096);
+    let x = b.load_double(s);
+    b.cond_reg();
+    b.cond_branch();
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    assert_equiv(&b.build(50_000));
+}
+
+#[test]
+fn routine_switch_phase_is_respected() {
+    // A code footprint larger than the I-cache refetches every
+    // routine_period iterations; the fast-forward must only land on
+    // period multiples that preserve that phase.
+    let mut b = KernelBuilder::new("routine-switch");
+    let s = b.seq_array(8, 8192);
+    let x = b.load_double(s);
+    let acc = b.fresh_fpr();
+    b.fma_acc(acc, x, x);
+    b.loop_back();
+    b.code_footprint(200, 10); // 200*2 lines > 256-line I-cache
+    assert_equiv(&b.build(60_000));
+}
+
+#[test]
+fn quad_memory_kernels_are_exact() {
+    let mut b = KernelBuilder::new("quad-copy");
+    let src = b.seq_array(16, 1 << 20);
+    let dst = b.seq_array(16, 1 << 20);
+    let (d0, d1) = b.load_quad(src);
+    b.store_quad(dst, d0, d1);
+    b.loop_back();
+    assert_equiv(&b.build(40_000));
+}
+
+#[test]
+fn iteration_count_edges_are_exact() {
+    for iters in [1, 2, 63, 64, 65, 127, 128] {
+        let mut b = KernelBuilder::new("edge");
+        let s = b.seq_array(8, 4096);
+        let x = b.load_double(s);
+        let acc = b.fresh_fpr();
+        b.fma_acc(acc, x, x);
+        b.loop_back();
+        assert_equiv(&b.build(iters));
+    }
+}
+
+#[test]
+fn randomized_kernel_compositions_are_exact() {
+    // Pseudo-random kernel shapes: mixes of memory patterns, FP ops,
+    // integer work, and branches, each checked for exact equivalence.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for case in 0..20 {
+        let mut b = KernelBuilder::new(format!("rand-{case}"));
+        let slot = match next() % 4 {
+            0 => b.seq_array(8 << (next() % 3), 1 << (12 + next() % 8)),
+            1 => b.tile_array(8, 1 << (10 + next() % 6)),
+            2 => b.strided_array(8, 8, 64, 1 << 20),
+            _ => b.random_array(1 << 22, 8),
+        };
+        let mut last = b.load_double(slot);
+        for _ in 0..(1 + next() % 6) {
+            match next() % 5 {
+                0 => {
+                    let acc = b.fresh_fpr();
+                    last = b.fma_acc(acc, last, last);
+                }
+                1 => last = b.fadd(last, last),
+                2 => {
+                    b.int_alu();
+                }
+                3 => {
+                    b.cond_reg();
+                    b.cond_branch();
+                }
+                _ => {
+                    b.store_double(slot, last);
+                    last = b.load_double(slot);
+                }
+            }
+        }
+        b.loop_back();
+        let iters = 1_000 + next() % 20_000;
+        assert_equiv(&b.build(iters));
+    }
+}
+
+/// The only test that touches the process-global switch (kept to a
+/// single test: the flag is global and the harness runs in parallel).
+#[test]
+fn global_switch_gates_measure() {
+    use sp2_repro::power2::{
+        fast_forward_enabled, measure_on_fresh_node, set_fast_forward_enabled,
+    };
+    let cfg = MachineConfig::nas_sp2();
+    let k = blocked_matmul_kernel(30_000);
+
+    set_fast_forward_enabled(false);
+    assert!(!fast_forward_enabled());
+    let slow = measure_on_fresh_node(&k, &cfg, 77);
+
+    set_fast_forward_enabled(true);
+    assert!(fast_forward_enabled());
+    // A distinct seed defeats the signature cache, forcing a fresh
+    // measurement through the fast-forward path.
+    let fast = Node::with_seed(cfg, 77).run_kernel(&k);
+    assert_eq!(slow.events, fast.events);
+    assert_eq!(slow.cycles, fast.cycles);
+}

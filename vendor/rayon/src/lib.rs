@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
     };
 }
 
@@ -231,6 +232,56 @@ pub mod iter {
         type Iter = SliceParIterMut<'a, T>;
         fn par_iter_mut(&'a mut self) -> SliceParIterMut<'a, T> {
             SliceParIterMut(self)
+        }
+    }
+
+    /// Parallel iteration over caller-sized mutable chunks (the subset of
+    /// rayon's `ParallelSliceMut` the workspace uses).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into contiguous chunks of `chunk_size` (the
+        /// last may be shorter) and yields each chunk, in input order.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ChunksParIterMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    pub struct ChunksParIterMut<'a, T: Send> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParallelIterator for ChunksParIterMut<'a, T> {
+        type Item = &'a mut [T];
+
+        fn run_map<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(&'a mut [T]) -> R + Sync,
+        {
+            let threads = current_num_threads().max(1);
+            if threads <= 1 || self.slice.len() <= self.chunk_size {
+                return self.slice.chunks_mut(self.chunk_size).map(f).collect();
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .slice
+                    .chunks_mut(self.chunk_size)
+                    .map(|c| s.spawn(move || on_worker(|| f(c))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon stub worker panicked"))
+                    .collect()
+            })
         }
     }
 
