@@ -33,11 +33,28 @@ fn bench(c: &mut Criterion) {
         b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none()))
     });
     // The same run with the trace layer live: the gap between this and
-    // serial_1_thread is the instrumentation overhead, budgeted < 3%.
+    // serial_1_thread is the instrumentation overhead, budgeted < 3%
+    // (enforced by `benches/overhead.rs`, which CI runs as a gate).
     g.bench_function("serial_1_thread_traced", |b| {
         sp2_trace::set_enabled(true);
         b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none()));
         sp2_trace::set_enabled(false);
+    });
+    // And with the flight recorder on top: span events plus interval
+    // sampling every daemon sweep, budgeted < 5% (same CI gate). The
+    // buffers are cleared between iterations so every pass records the
+    // same volume rather than exercising the drop-oldest path.
+    g.bench_function("serial_1_thread_recorded", |b| {
+        sp2_core::timeline::enable_recording(1);
+        b.iter(|| {
+            sp2_trace::events::reset();
+            sp2_trace::recorder::reset();
+            run_campaign_with_threads(&config, &library, &jobs, days, 1, &FaultPlan::none())
+        });
+        sp2_trace::set_recording(false);
+        sp2_trace::set_enabled(false);
+        sp2_trace::events::reset();
+        sp2_trace::recorder::reset();
     });
     g.bench_function("all_cores", |b| {
         b.iter(|| run_campaign_with_threads(&config, &library, &jobs, days, 0, &FaultPlan::none()))

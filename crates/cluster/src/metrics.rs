@@ -52,7 +52,7 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     RAYON_THREADS.observe(snap);
     let workers = RAYON_THREADS.get().max(1.0);
     let advance_wall = ADVANCE.total_ns() as f64;
-    snap.push(
+    snap.append(
         "cluster.worker_utilization",
         MetricValue::Value(if advance_wall > 0.0 {
             (ADVANCE_BUSY_NS.get() as f64 / (advance_wall * workers)).min(1.0)
@@ -61,7 +61,7 @@ pub fn collect(snap: &mut MetricsSnapshot) {
         }),
     );
     let campaign_wall_s = CAMPAIGN.total_ns() as f64 / 1e9;
-    snap.push(
+    snap.append(
         "cluster.sim_seconds_per_wall_second",
         MetricValue::Value(if campaign_wall_s > 0.0 {
             SIMULATED_S.get() as f64 / campaign_wall_s

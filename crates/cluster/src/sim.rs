@@ -262,6 +262,7 @@ pub fn run_campaign(
     faults: &FaultPlan,
 ) -> Result<CampaignResult, CampaignError> {
     let _campaign_span = crate::metrics::CAMPAIGN.span();
+    let _campaign_ev = sp2_trace::events::span("campaign", "phase");
     crate::metrics::RAYON_THREADS.set(rayon::current_num_threads() as f64);
     let horizon = days as f64 * 86_400.0;
     let selection = config.selection.clone();
@@ -316,7 +317,8 @@ pub fn run_campaign(
     }
     summary.node_downtime_s = faults.node_downtime_s(horizon);
 
-    // Baseline daemon pass at t=0.
+    // Baseline daemon pass at t=0 (flight-recorder sweep 0 only
+    // baselines the interval series, exactly like the daemon itself).
     daemon.collect(
         &NodeSource {
             nodes: &nodes,
@@ -324,6 +326,7 @@ pub fn run_campaign(
         },
         0.0,
     );
+    sp2_trace::recorder::on_sweep(0, 0.0);
 
     // Start any jobs PBS can place at `now`.
     let start_jobs = |now: f64,
@@ -335,8 +338,22 @@ pub fn run_campaign(
                       attempts: &[u32],
                       trace: &[SubmittedJob]| {
         let _sched_span = crate::metrics::SCHEDULE.span();
+        let _sched_ev = sp2_trace::events::span("schedule", "phase");
         for started in pbs.schedule(now) {
             let submitted = &trace[started.spec.payload as usize];
+            if sp2_trace::recording() {
+                // Queue wait in simulated time; a requeued attempt's wait
+                // began at the kill, which the kill site records instead.
+                let attempt = attempts[started.spec.payload as usize];
+                if attempt == 0 {
+                    sp2_trace::events::sim_span(
+                        format!("job {} wait", started.spec.id.0),
+                        "pbs",
+                        submitted.submit_s,
+                        now,
+                    );
+                }
+            }
             let program = library.program(submitted.program);
             let plan = ActivityPlan::for_job(
                 program,
@@ -426,6 +443,10 @@ pub fn run_campaign(
                     &pairs,
                 ));
                 pbs.finish(id, t)?;
+                if sp2_trace::recording() {
+                    sp2_trace::events::sim_span(format!("job {} run", id.0), "pbs", job.start, t);
+                    sp2_trace::events::sim_instant(format!("job {} epilogue", id.0), "pbs", t);
+                }
                 pbs_records.push(JobRecord {
                     id: job.spec.id.0,
                     nodes: job.spec.nodes,
@@ -463,6 +484,7 @@ pub fn run_campaign(
                 // count.
                 {
                     let advance_span = crate::metrics::ADVANCE.span();
+                    let _advance_ev = sp2_trace::events::span("advance", "phase");
                     if sp2_trace::enabled() {
                         // Worker-busy time is clocked per worker chunk,
                         // not per node: one Instant pair per chunk keeps
@@ -483,6 +505,7 @@ pub fn run_campaign(
                     drop(advance_span);
                 }
                 let _sample_span = crate::metrics::SAMPLE.span();
+                let _sample_ev = sp2_trace::events::span("sample", "phase");
                 let glitched = faults.glitched_nodes(k);
                 let snapshots: Vec<Option<CounterSnapshot>> = nodes
                     .iter()
@@ -501,12 +524,17 @@ pub fn run_campaign(
                     .collect();
                 summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
                 daemon.collect_batch(&snapshots, t);
+                sp2_trace::recorder::on_sweep(k, t);
             }
             Ev::NodeDown(node) => {
                 if down[node] {
                     continue;
                 }
                 let fault_span = crate::metrics::FAULT_SWEEP.span();
+                let fault_ev = sp2_trace::events::span("fault", "phase");
+                if sp2_trace::recording() {
+                    sp2_trace::events::sim_instant(format!("node {node} down"), "fault", t);
+                }
                 down[node] = true;
                 // The node crashes: counters freeze at `t` (they advanced
                 // while the job computed up to the crash).
@@ -523,6 +551,20 @@ pub fn run_campaign(
                             }
                         }
                         let requeued = job.attempt + 1 < MAX_JOB_ATTEMPTS;
+                        if sp2_trace::recording() {
+                            sp2_trace::events::sim_span(
+                                format!("job {} run", id.0),
+                                "pbs",
+                                job.start,
+                                t,
+                            );
+                            let marker = if requeued { "requeue" } else { "kill" };
+                            sp2_trace::events::sim_instant(
+                                format!("job {} {marker}", id.0),
+                                "pbs",
+                                t,
+                            );
+                        }
                         summary.jobs_killed += 1;
                         pbs_records.push(JobRecord {
                             id: job.spec.id.0,
@@ -538,6 +580,7 @@ pub fn run_campaign(
                         }
                     }
                 }
+                drop(fault_ev);
                 drop(fault_span);
                 start_jobs(
                     t,
@@ -555,12 +598,17 @@ pub fn run_campaign(
                     continue;
                 }
                 let fault_span = crate::metrics::FAULT_SWEEP.span();
+                let fault_ev = sp2_trace::events::span("fault", "phase");
+                if sp2_trace::recording() {
+                    sp2_trace::events::sim_instant(format!("node {node} up"), "fault", t);
+                }
                 down[node] = false;
                 // Repair and reboot: the monitor state did not survive,
                 // so the daemon will re-baseline this node.
                 nodes[node].reboot(t);
                 nodes[node].set_activity(t, Some(idle_plan.clone()));
                 pbs.bring_node_online(node);
+                drop(fault_ev);
                 drop(fault_span);
                 start_jobs(
                     t,
@@ -586,6 +634,10 @@ pub fn run_campaign(
             continue;
         };
         pbs.finish(id, horizon)?;
+        if sp2_trace::recording() {
+            sp2_trace::events::sim_span(format!("job {} run", id.0), "pbs", job.start, horizon);
+            sp2_trace::events::sim_instant(format!("job {} horizon", id.0), "pbs", horizon);
+        }
         pbs_records.push(JobRecord {
             id: job.spec.id.0,
             nodes: job.spec.nodes,

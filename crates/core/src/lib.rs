@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod plot;
 pub mod render;
 pub mod system;
+pub mod timeline;
 
 pub use error::Sp2Error;
 pub use experiments::{

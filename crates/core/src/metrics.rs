@@ -17,7 +17,9 @@ pub const SCHEMA: &str = "sp2-metrics/v1";
 /// simulator, campaign engine, daemon, batch system, then the dynamic
 /// per-experiment map).
 pub fn snapshot() -> MetricsSnapshot {
-    let mut snap = MetricsSnapshot::new();
+    // Sized for the static subsystems plus a few dynamic experiments —
+    // the recorder calls this every sampled sweep.
+    let mut snap = MetricsSnapshot::with_capacity(64);
     sp2_power2::metrics::collect(&mut snap);
     sp2_cluster::metrics::collect(&mut snap);
     sp2_rs2hpm::metrics::collect(&mut snap);
@@ -38,7 +40,8 @@ pub fn reset() {
     dynamic::reset();
 }
 
-fn value_to_json(value: &MetricValue) -> Json {
+/// Renders one reading as JSON (shared with the timeline exporter).
+pub(crate) fn value_to_json(value: &MetricValue) -> Json {
     match *value {
         MetricValue::Count(n) => Json::from(n),
         MetricValue::Value(v) => Json::from(v),

@@ -317,6 +317,8 @@ impl Sp2System {
     /// Runs the experiment's analysis, recording wall time and dataset
     /// size under the experiment's id when tracing is enabled.
     fn run_metered(exp: &dyn Experiment, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let _ev = sp2_trace::recording()
+            .then(|| sp2_trace::events::span(format!("experiment {}", exp.id()), "experiment"));
         if !sp2_trace::enabled() {
             return exp.run(input);
         }

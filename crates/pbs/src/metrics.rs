@@ -5,7 +5,7 @@
 //! (draining for >64-node jobs shows up here), how many jobs flowed
 //! through, and how often node failures forced requeues.
 
-use sp2_trace::{Counter, MaxGauge, MetricsSnapshot};
+use sp2_trace::{Counter, Gauge, MaxGauge, MetricsSnapshot};
 
 /// Jobs accepted into the queue.
 pub static SUBMITTED: Counter = Counter::new("pbs.jobs_submitted");
@@ -19,12 +19,17 @@ pub static REQUEUED: Counter = Counter::new("pbs.jobs_requeued");
 /// Deepest the queue ever got (including the job being pushed).
 pub static QUEUE_DEPTH_MAX: MaxGauge = MaxGauge::new("pbs.queue_depth_max");
 
+/// Current queue depth — the flight recorder samples this on the daemon
+/// cadence to plot the queue's history (Figure 1's demand axis).
+pub static QUEUE_DEPTH: Gauge = Gauge::new("pbs.queue_depth");
+
 /// Appends the batch system's readings to `snap`.
 pub fn collect(snap: &mut MetricsSnapshot) {
     SUBMITTED.observe(snap);
     STARTED.observe(snap);
     REQUEUED.observe(snap);
     QUEUE_DEPTH_MAX.observe(snap);
+    QUEUE_DEPTH.observe(snap);
 }
 
 /// Zeroes every reading.
@@ -33,6 +38,7 @@ pub fn reset() {
     STARTED.reset();
     REQUEUED.reset();
     QUEUE_DEPTH_MAX.reset();
+    QUEUE_DEPTH.reset();
 }
 
 #[cfg(test)]
@@ -48,6 +54,7 @@ mod tests {
             "pbs.jobs_started",
             "pbs.jobs_requeued",
             "pbs.queue_depth_max",
+            "pbs.queue_depth",
         ] {
             assert!(snap.get(key).is_some(), "missing {key}");
         }

@@ -128,6 +128,7 @@ impl Pbs {
         self.queue.push_back(spec);
         crate::metrics::SUBMITTED.inc();
         crate::metrics::QUEUE_DEPTH_MAX.record(self.queue.len() as u64);
+        crate::metrics::QUEUE_DEPTH.set(self.queue.len() as f64);
         Ok(())
     }
 
@@ -138,6 +139,7 @@ impl Pbs {
         self.queue.push_front(spec);
         crate::metrics::REQUEUED.inc();
         crate::metrics::QUEUE_DEPTH_MAX.record(self.queue.len() as u64);
+        crate::metrics::QUEUE_DEPTH.set(self.queue.len() as f64);
     }
 
     fn allocate(&mut self, n: u32) -> Option<Vec<usize>> {
@@ -197,6 +199,11 @@ impl Pbs {
         }
         // Phase 2: head blocked. Drain for large jobs, else backfill.
         if let Some(head) = self.queue.front() {
+            if head.needs_drain(self.drain_threshold) && sp2_trace::recording() {
+                // The machine is emptying for a wide job — worth a mark
+                // on the simulated timeline (Figure 5's interventions).
+                sp2_trace::events::sim_instant(format!("drain for job {}", head.id.0), "pbs", now);
+            }
             if !head.needs_drain(self.drain_threshold) {
                 let mut i = 1;
                 while i < self.queue.len().min(1 + self.backfill_depth) {
@@ -218,6 +225,7 @@ impl Pbs {
                 }
             }
         }
+        crate::metrics::QUEUE_DEPTH.set(self.queue.len() as f64);
         started
     }
 

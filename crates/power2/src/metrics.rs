@@ -61,22 +61,22 @@ pub(crate) fn record_fast_forward(r: &FastForwardReport) {
 /// and simulated-cycle throughput — to `snap`.
 pub fn collect(snap: &mut MetricsSnapshot) {
     let cache = SignatureCache::global();
-    snap.push("power2.sigcache.hits", MetricValue::Count(cache.hits()));
-    snap.push("power2.sigcache.misses", MetricValue::Count(cache.misses()));
-    snap.push(
+    snap.append("power2.sigcache.hits", MetricValue::Count(cache.hits()));
+    snap.append("power2.sigcache.misses", MetricValue::Count(cache.misses()));
+    snap.append(
         "power2.sigcache.coalesced",
         MetricValue::Count(cache.coalesced()),
     );
-    snap.push(
+    snap.append(
         "power2.sigcache.evictions",
         MetricValue::Count(cache.evictions()),
     );
-    snap.push(
+    snap.append(
         "power2.sigcache.entries",
         MetricValue::Count(cache.len() as u64),
     );
     let lookups = cache.hits() + cache.misses();
-    snap.push(
+    snap.append(
         "power2.sigcache.hit_rate",
         MetricValue::Value(if lookups == 0 {
             0.0
@@ -93,7 +93,7 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     FF_ITERS_EXTRAPOLATED.observe(snap);
     FF_DETECT_LATENCY.observe(snap);
     let total_iters = FF_ITERS_SIMULATED.get() + FF_ITERS_EXTRAPOLATED.get();
-    snap.push(
+    snap.append(
         "power2.fastforward.extrapolated_fraction",
         MetricValue::Value(if total_iters == 0 {
             0.0
@@ -102,7 +102,7 @@ pub fn collect(snap: &mut MetricsSnapshot) {
         }),
     );
     let wall_s = MEASURE.total_ns() as f64 / 1e9;
-    snap.push(
+    snap.append(
         "power2.simulated_cycles_per_sec",
         MetricValue::Value(if wall_s > 0.0 {
             SIMULATED_CYCLES.get() as f64 / wall_s

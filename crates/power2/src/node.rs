@@ -234,6 +234,11 @@ impl Node {
             ..FastForwardReport::default()
         };
         let mut detector = detect.then(|| Detector::new(self, &st, kernel, icache_lines));
+        // The detection window as a flight-recorder span: opens with the
+        // detector, closes when it resolves (detected, gave up, or ran
+        // out of iterations).
+        let mut detect_ev =
+            detect.then(|| sp2_trace::events::span("fastforward detect", "fastforward"));
 
         let mut iter = 0u64;
         while iter < kernel.iters {
@@ -241,7 +246,10 @@ impl Node {
             if let Some(det) = detector.as_mut() {
                 match det.observe(self, &st, iter) {
                     Verdict::Continue => {}
-                    Verdict::GiveUp => detector = None,
+                    Verdict::GiveUp => {
+                        detector = None;
+                        detect_ev = None;
+                    }
                     Verdict::Periodic(period) => {
                         let skipped = det.fast_forward(&mut st, iter, kernel.iters, period);
                         report.period = period;
@@ -249,11 +257,16 @@ impl Node {
                         report.extrapolated_iters = skipped;
                         iter += skipped;
                         detector = None;
+                        detect_ev = None;
+                        if sp2_trace::recording() {
+                            sp2_trace::events::instant("fastforward extrapolate", "fastforward");
+                        }
                     }
                 }
             }
             iter += 1;
         }
+        drop(detect_ev);
         report.simulated_iters = kernel.iters - report.extrapolated_iters;
 
         let cycles = st.end_of_work.max(st.cycle) + 1;

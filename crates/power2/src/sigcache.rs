@@ -122,6 +122,10 @@ pub struct SignatureCache {
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    /// Published (`Done`) entries resident in the table, maintained at
+    /// publish/clear time so [`SignatureCache::len`] never has to walk
+    /// the shards — the flight recorder reads it every sampled sweep.
+    published: AtomicU64,
 }
 
 impl Default for SignatureCache {
@@ -132,6 +136,7 @@ impl Default for SignatureCache {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            published: AtomicU64::new(0),
         }
     }
 }
@@ -214,17 +219,31 @@ impl SignatureCache {
                 };
                 let sig = {
                     let _span = crate::metrics::MEASURE.span();
+                    let _ev = sp2_trace::events::span("sigcache miss", "sigcache");
                     let mut node = Node::with_seed(*config, seed);
                     KernelSignature::measure(&mut node, kernel)
                 };
                 *slot.lock_state() = SlotState::Done(Box::new(sig.clone()));
                 guard.published = true;
+                // Count the new resident only if a concurrent `clear`
+                // hasn't already swept this slot out of the table; the
+                // shard lock serializes this against the sweep.
+                {
+                    let map = self.shard(hash).lock();
+                    let resident = map
+                        .get(&hash)
+                        .is_some_and(|b| b.iter().any(|e| Arc::ptr_eq(&e.slot, &slot)));
+                    if resident {
+                        self.published.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 slot.cond.notify_all();
                 return sig;
             }
 
             let mut state = slot.lock_state();
             let mut waited = false;
+            let mut wait_ev = None;
             loop {
                 match &*state {
                     SlotState::Done(sig) => {
@@ -235,6 +254,12 @@ impl SignatureCache {
                     SlotState::Abandoned => break,
                     SlotState::InFlight => {
                         waited = true;
+                        // Time blocked behind the leader — the span opens
+                        // on the first wait and closes whenever this
+                        // waiter leaves the loop.
+                        wait_ev.get_or_insert_with(|| {
+                            sp2_trace::events::span("sigcache wait", "sigcache")
+                        });
                         state = slot.cond.wait(state).unwrap_or_else(|e| e.into_inner());
                     }
                 }
@@ -301,18 +326,11 @@ impl SignatureCache {
     }
 
     /// Distinct published measurements currently cached (in-flight
-    /// entries don't count until their result lands).
+    /// entries don't count until their result lands). One atomic load —
+    /// the tally is maintained at publish and [`clear`](Self::clear)
+    /// time, never by walking the shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .values()
-                    .flatten()
-                    .filter(|e| matches!(*e.slot.lock_state(), SlotState::Done(_)))
-                    .count()
-            })
-            .sum()
+        self.published.load(Ordering::Relaxed) as usize
     }
 
     /// Whether the cache holds no published measurements.
@@ -339,6 +357,7 @@ impl SignatureCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.coalesced.store(0, Ordering::Relaxed);
+        self.published.store(0, Ordering::Relaxed);
     }
 }
 

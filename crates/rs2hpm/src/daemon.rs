@@ -121,6 +121,7 @@ impl Daemon {
             "batch must cover every node of the machine"
         );
         let _sweep = crate::metrics::SWEEP.span();
+        let _sweep_ev = sp2_trace::events::span("daemon sweep", "rs2hpm");
         let n_slots = self.selection.len();
         let mut total = CounterDelta::zero(n_slots);
         let mut nodes_sampled = 0;
@@ -175,6 +176,7 @@ impl Daemon {
     /// the next pass only re-baselines (contributing no deltas), exactly
     /// like the first pass after boot.
     pub fn restart(&mut self) {
+        sp2_trace::events::instant("daemon restart", "rs2hpm");
         for p in &mut self.prev {
             *p = None;
         }

@@ -26,7 +26,7 @@ pub static BASELINES: Counter = Counter::new("rs2hpm.baselines");
 /// duration, to `snap`.
 pub fn collect(snap: &mut MetricsSnapshot) {
     SWEEP.observe(snap);
-    snap.push(
+    snap.append(
         "rs2hpm.sweep_mean_us",
         MetricValue::Value(if SWEEP.count() == 0 {
             0.0

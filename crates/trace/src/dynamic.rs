@@ -75,7 +75,7 @@ pub fn record_ns(name: &str, ns: u64) {
 pub fn collect(snap: &mut MetricsSnapshot) {
     with_map(|m| {
         for (name, value) in m.iter() {
-            snap.push(name.clone(), value.clone());
+            snap.append(name.clone(), value.clone());
         }
     });
 }
@@ -112,7 +112,7 @@ mod tests {
             })
         );
         // Names come back sorted regardless of recording order.
-        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_ref()).collect();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
@@ -121,6 +121,38 @@ mod tests {
         let mut empty = MetricsSnapshot::new();
         collect(&mut empty);
         assert!(empty.is_empty());
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn collect_is_deterministic_across_interleaved_inserts() {
+        // Timeline and metrics JSON diffs rely on two collects of the
+        // same logical state being byte-identical, however the inserts
+        // interleaved.
+        let _g = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+
+        reset();
+        add("z.last", 1);
+        set("m.middle", 2.0);
+        add("a.first", 3);
+        record_ns("q.span", 400);
+        let mut first = MetricsSnapshot::new();
+        collect(&mut first);
+
+        reset();
+        record_ns("q.span", 400);
+        add("a.first", 3);
+        add("z.last", 1);
+        set("m.middle", 2.0);
+        let mut second = MetricsSnapshot::new();
+        collect(&mut second);
+
+        assert_eq!(first, second, "insert order must not leak into collect");
+        let names: Vec<&str> = first.entries().iter().map(|(n, _)| n.as_ref()).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "q.span", "z.last"]);
+
+        reset();
         crate::set_enabled(false);
     }
 

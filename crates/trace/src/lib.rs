@@ -33,7 +33,9 @@
 )]
 
 pub mod dynamic;
+pub mod events;
 pub mod metric;
+pub mod recorder;
 pub mod snapshot;
 
 pub use metric::{Counter, Gauge, MaxGauge, Span, Timer};
@@ -46,6 +48,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// else.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// The flight-recorder switch, independent of [`enabled`]: [`events`]
+/// spans and [`recorder`] sweeps record only while this is set. Off by
+/// default; an event site costs one relaxed load while clear.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
 /// Turns metric capture on or off process-wide.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -55,6 +62,18 @@ pub fn set_enabled(on: bool) {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns flight-recorder capture (span events + interval time series)
+/// on or off process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the flight recorder is currently on.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -72,5 +91,15 @@ mod tests {
         assert!(enabled());
         set_enabled(false);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn recording_flag_is_independent() {
+        let _g = FLAG_LOCK.lock().unwrap();
+        set_recording(true);
+        assert!(recording());
+        assert!(!enabled(), "recording does not imply metric capture");
+        set_recording(false);
+        assert!(!recording());
     }
 }

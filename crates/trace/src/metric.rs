@@ -57,7 +57,7 @@ impl Counter {
 
     /// Appends this counter to a snapshot.
     pub fn observe(&self, snap: &mut MetricsSnapshot) {
-        snap.push(self.name, MetricValue::Count(self.get()));
+        snap.append(self.name, MetricValue::Count(self.get()));
     }
 }
 
@@ -104,7 +104,7 @@ impl Gauge {
 
     /// Appends this gauge to a snapshot.
     pub fn observe(&self, snap: &mut MetricsSnapshot) {
-        snap.push(self.name, MetricValue::Value(self.get()));
+        snap.append(self.name, MetricValue::Value(self.get()));
     }
 }
 
@@ -150,7 +150,7 @@ impl MaxGauge {
 
     /// Appends this mark to a snapshot.
     pub fn observe(&self, snap: &mut MetricsSnapshot) {
-        snap.push(self.name, MetricValue::Count(self.get()));
+        snap.append(self.name, MetricValue::Count(self.get()));
     }
 }
 
@@ -219,7 +219,7 @@ impl Timer {
 
     /// Appends this timer to a snapshot.
     pub fn observe(&self, snap: &mut MetricsSnapshot) {
-        snap.push(
+        snap.append(
             self.name,
             MetricValue::Duration {
                 total_ns: self.total_ns(),

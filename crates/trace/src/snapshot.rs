@@ -1,5 +1,6 @@
 //! Point-in-time metric collections and their text rendering.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// One collected metric reading.
@@ -34,9 +35,14 @@ impl MetricValue {
 
 /// An ordered list of named readings, in collection order (subsystems
 /// collect in a fixed sequence, so rendering is deterministic).
+///
+/// Names are `Cow<'static, str>` because the overwhelmingly common case
+/// is a static metric name observed every recorder sweep — borrowing
+/// keeps the per-sweep sampling path allocation-free for them, while
+/// dynamic (per-experiment) names still carry owned strings.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
-    entries: Vec<(String, MetricValue)>,
+    entries: Vec<(Cow<'static, str>, MetricValue)>,
 }
 
 impl MetricsSnapshot {
@@ -45,9 +51,17 @@ impl MetricsSnapshot {
         MetricsSnapshot::default()
     }
 
+    /// An empty snapshot with room for `capacity` readings (the
+    /// aggregate collector knows roughly how many it will append).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MetricsSnapshot {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends a reading (replacing an earlier reading of the same name
     /// so repeated collection passes stay unambiguous).
-    pub fn push(&mut self, name: impl Into<String>, value: MetricValue) {
+    pub fn push(&mut self, name: impl Into<Cow<'static, str>>, value: MetricValue) {
         let name = name.into();
         if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
             slot.1 = value;
@@ -56,13 +70,33 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Appends a reading without the same-name replacement scan.
+    ///
+    /// The flight recorder samples a full snapshot every daemon sweep,
+    /// and the scan in [`push`](Self::push) is quadratic in snapshot
+    /// size — measurable at that rate. Collectors emit each name exactly
+    /// once per pass, so they use this instead; a duplicate name is
+    /// caught in debug builds and merely yields a shadowed entry (the
+    /// first occurrence wins on lookup) in release builds.
+    pub fn append(&mut self, name: impl Into<Cow<'static, str>>, value: MetricValue) {
+        let name = name.into();
+        debug_assert!(
+            self.get(&name).is_none(),
+            "append of duplicate metric name {name:?}"
+        );
+        self.entries.push((name, value));
+    }
+
     /// Looks a reading up by name.
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.entries
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
     }
 
     /// All readings in collection order.
-    pub fn entries(&self) -> &[(String, MetricValue)] {
+    pub fn entries(&self) -> &[(Cow<'static, str>, MetricValue)] {
         &self.entries
     }
 
@@ -84,7 +118,7 @@ impl MetricsSnapshot {
         self.entries
             .iter()
             .filter(move |(n, _)| n.starts_with(prefix))
-            .map(|(n, v)| (n.as_str(), v))
+            .map(|(n, v)| (n.as_ref(), v))
     }
 
     /// Renders an aligned `name  value` table, durations as

@@ -15,6 +15,8 @@
 //! sp2 campaign --days 270 -j 0     # everything, in parallel, with artifacts
 //! sp2 profile --days 30            # self-measurement report of the run
 //! sp2 table2 --metrics m.json      # any command + metrics dump afterwards
+//! sp2 timeline --days 60           # the simulator's own Figure 1
+//! sp2 timeline --trace-out t.json  # + Perfetto-loadable trace of the run
 //! ```
 //!
 //! Exit codes are per error class so scripts can tell a typo from a
@@ -22,7 +24,7 @@
 //! configuration, 5 campaign spec, 6 campaign engine, 7 artifact i/o.
 
 use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
-use sp2_repro::core::{export, metrics, Sp2Error, Sp2System};
+use sp2_repro::core::{export, metrics, timeline, Sp2Error, Sp2System};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -48,6 +50,9 @@ COMMANDS:
     campaign                             all of the above + JSON artifacts
     profile                              campaign under the trace layer, then
                                          print the self-measurement report
+    timeline                             campaign under the flight recorder,
+                                         then print per-phase sparkline
+                                         histories (the simulator's Figure 1)
     list                                 list registered experiments
 
 OPTIONS:
@@ -67,6 +72,12 @@ OPTIONS:
     --metrics [PATH] enable the trace layer for any command; after it
                     finishes, write the metrics JSON to PATH, or print the
                     metrics table to stderr when PATH is omitted
+    --trace-out PATH enable the flight recorder (any command; implied by
+                    `timeline`) and write the run's span events to PATH as
+                    Chrome trace-event JSON (open in Perfetto or
+                    chrome://tracing)
+    --cadence N     flight-recorder sampling cadence in daemon sweeps
+                    (default 1 = every simulated 15-minute sweep)
 
 EXIT CODES:
     0 ok   2 usage   3 unknown experiment   4 cluster config
@@ -118,6 +129,10 @@ struct Args {
     /// `None` = tracing off; `Some(None)` = `--metrics` (table to stderr);
     /// `Some(Some(path))` = `--metrics PATH` (JSON to the file).
     metrics: Option<Option<String>>,
+    /// Chrome trace-event destination; enables the flight recorder.
+    trace_out: Option<String>,
+    /// Flight-recorder sampling cadence in daemon sweeps.
+    cadence: u64,
 }
 
 fn available_parallelism() -> usize {
@@ -125,7 +140,14 @@ fn available_parallelism() -> usize {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1).peekable();
+    parse_args_from(std::env::args().skip(1))
+}
+
+/// Parses an argument list (everything after the program name). Split
+/// from [`parse_args`] so the unit tests can feed token vectors without
+/// spawning a process.
+fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut argv = argv.into_iter().peekable();
     let command = argv.next().ok_or_else(|| USAGE.to_string())?;
     let mut args = Args {
         command,
@@ -137,6 +159,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         fast_forward: true,
         metrics: None,
+        trace_out: None,
+        cadence: 1,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -175,8 +199,24 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--no-fast-forward" => args.fast_forward = false,
             "--metrics" => {
-                // The optional PATH is whatever non-option token follows.
+                // The optional PATH is whatever non-option token follows;
+                // a following option (e.g. `--metrics --json`) must never
+                // be swallowed as the path.
                 args.metrics = Some(argv.next_if(|v| !v.starts_with('-')));
+            }
+            "--trace-out" => {
+                let v = argv.next().ok_or("--trace-out needs a PATH")?;
+                if v.starts_with('-') {
+                    return Err(format!("--trace-out needs a PATH, got option {v}"));
+                }
+                args.trace_out = Some(v);
+            }
+            "--cadence" => {
+                let v = argv.next().ok_or("--cadence needs a value")?;
+                args.cadence = v.parse().map_err(|_| format!("bad --cadence value: {v}"))?;
+                if args.cadence == 0 {
+                    return Err("--cadence must be at least 1 sweep".into());
+                }
             }
             other if args.arg.is_none() && !other.starts_with('-') => {
                 args.arg = Some(other.to_string());
@@ -248,6 +288,20 @@ fn dump_metrics(dest: Option<&str>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Writes the drained span events where `--trace-out` asked for them, as
+/// Chrome trace-event JSON.
+fn dump_trace(path: &str) -> Result<(), CliError> {
+    let events = sp2_repro::trace::events::drain();
+    let dropped = sp2_repro::trace::events::dropped();
+    let body = timeline::chrome_trace(&events, dropped).to_string_pretty();
+    std::fs::write(path, body + "\n").map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+    eprintln!(
+        "trace written to {path} ({} events, {dropped} dropped)",
+        events.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args = parse_args().map_err(CliError::Usage)?;
     // The trace layer stays off (one relaxed atomic load per record site)
@@ -255,12 +309,20 @@ fn run() -> Result<(), CliError> {
     if args.metrics.is_some() || args.command == "profile" {
         sp2_repro::trace::set_enabled(true);
     }
+    // Same for the flight recorder: only `timeline` and `--trace-out`
+    // pay for span events and interval sampling.
+    if args.trace_out.is_some() || args.command == "timeline" {
+        timeline::enable_recording(args.cadence);
+    }
     if !args.fast_forward {
         sp2_repro::power2::set_fast_forward_enabled(false);
     }
     dispatch(&args)?;
     if let Some(dest) = &args.metrics {
         dump_metrics(dest.as_deref())?;
+    }
+    if let Some(path) = &args.trace_out {
+        dump_trace(path)?;
     }
     Ok(())
 }
@@ -295,6 +357,21 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
         .faults(args.faults)
         .fault_seed(args.fault_seed)
         .build();
+
+    if cmd == "timeline" {
+        eprintln!(
+            "running a {}-day campaign under the flight recorder…",
+            args.days
+        );
+        sys.campaign()?;
+        let series = sp2_repro::trace::recorder::series();
+        if args.json {
+            println!("{}", timeline::timeline_json(&series).to_string_pretty());
+        } else {
+            print!("{}", timeline::render_timeline(&series));
+        }
+        return Ok(());
+    }
 
     if cmd == "campaign" || cmd == "profile" {
         eprintln!(
@@ -350,5 +427,72 @@ fn main() -> ExitCode {
             eprintln!("{}", e.message());
             e.exit_code()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        parse_args_from(tokens.iter().map(|t| t.to_string()))
+    }
+
+    #[test]
+    fn metrics_never_swallows_a_following_option() {
+        // `--metrics --json` means "metrics table to stderr, dataset as
+        // JSON" — the option after --metrics must not become the PATH.
+        let args = parse(&["table2", "--metrics", "--json"]).expect("parses");
+        assert_eq!(args.metrics, Some(None));
+        assert!(args.json);
+
+        let args = parse(&["table2", "--metrics", "m.json", "--json"]).expect("parses");
+        assert_eq!(args.metrics, Some(Some("m.json".into())));
+        assert!(args.json);
+
+        // Trailing `--metrics` with nothing after it: table to stderr.
+        let args = parse(&["table2", "--metrics"]).expect("parses");
+        assert_eq!(args.metrics, Some(None));
+    }
+
+    #[test]
+    fn defaults_are_stable() {
+        let args = parse(&["timeline"]).expect("parses");
+        assert_eq!(args.command, "timeline");
+        assert_eq!(args.days, 60);
+        assert_eq!(args.threads, 1);
+        assert_eq!(args.cadence, 1);
+        assert!(args.fast_forward);
+        assert!(args.trace_out.is_none());
+        assert!(args.metrics.is_none());
+        assert!(!args.json);
+    }
+
+    #[test]
+    fn trace_out_requires_a_real_path() {
+        let args = parse(&["campaign", "--trace-out", "trace.json"]).expect("parses");
+        assert_eq!(args.trace_out, Some("trace.json".into()));
+        assert!(parse(&["campaign", "--trace-out"]).is_err());
+        assert!(
+            parse(&["campaign", "--trace-out", "--json"]).is_err(),
+            "an option is not a path"
+        );
+    }
+
+    #[test]
+    fn cadence_must_be_positive() {
+        let args = parse(&["timeline", "--cadence", "4"]).expect("parses");
+        assert_eq!(args.cadence, 4);
+        assert!(parse(&["timeline", "--cadence", "0"]).is_err());
+        assert!(parse(&["timeline", "--cadence", "x"]).is_err());
+        assert!(parse(&["timeline", "--cadence"]).is_err());
+    }
+
+    #[test]
+    fn positional_arg_and_unknown_options() {
+        let args = parse(&["probe", "matmul"]).expect("parses");
+        assert_eq!(args.arg.as_deref(), Some("matmul"));
+        assert!(parse(&["table1", "--bogus"]).is_err());
+        assert!(parse(&[]).is_err(), "no command prints usage");
     }
 }
