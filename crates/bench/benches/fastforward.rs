@@ -8,7 +8,9 @@
 //! directory.
 
 use sp2_core::Json;
-use sp2_power2::{set_fast_forward_enabled, MachineConfig, Node, SignatureCache};
+use sp2_power2::{
+    set_fast_forward_enabled, Detail, FastForward, KernelRun, MachineConfig, Node, SignatureCache,
+};
 use sp2_workload::{
     blocked_matmul_kernel, seqaccess_kernel, trace, CampaignSpec, JobMix, WorkloadLibrary,
 };
@@ -23,11 +25,19 @@ fn main() {
         seqaccess_kernel(2_000_000),
     ] {
         let t0 = Instant::now();
-        let full = Node::with_seed(machine, 1).run_kernel_full(&kernel);
+        let full = Node::with_seed(machine, 1)
+            .run_kernel(KernelRun::new(&kernel).fast_forward(FastForward::Off))
+            .stats;
         let full_s = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let (fast, report) = Node::with_seed(machine, 1).run_kernel_reported(&kernel);
+        let reported = Node::with_seed(machine, 1).run_kernel(
+            KernelRun::new(&kernel)
+                .fast_forward(FastForward::On)
+                .detail(Detail::Full),
+        );
+        let report = reported.fast_forward.unwrap_or_default();
+        let fast = reported.stats;
         let fast_s = t0.elapsed().as_secs_f64();
 
         assert_eq!(

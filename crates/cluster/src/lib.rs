@@ -22,6 +22,7 @@
 )]
 
 pub mod activity;
+pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod paging;
@@ -30,11 +31,12 @@ pub mod sim;
 pub mod state;
 
 pub use activity::ActivityPlan;
+pub use engine::{EngineConfig, EngineKind, NodeBank};
 pub use faults::{FaultPlan, Outage};
 pub use paging::PagingModel;
 pub use result::{CampaignResult, FaultSummary};
 pub use sim::{
-    run_campaign, run_campaign_with_threads, run_replications, CampaignError, ClusterConfig,
-    ClusterConfigBuilder, ClusterConfigError,
+    run_campaign, run_campaign_cfg, run_campaign_with_threads, run_replications, CampaignError,
+    ClusterConfig, ClusterConfigBuilder, ClusterConfigError,
 };
 pub use state::NodeState;

@@ -1,6 +1,14 @@
 //! The campaign event loop.
+//!
+//! The loop itself is engine-agnostic: node state lives behind
+//! [`Engine`], which is either the reference `Vec<NodeState>` walk or
+//! the struct-of-arrays [`NodeBank`] batch engine. Both produce
+//! bit-identical campaigns (the equivalence suite proves it at every
+//! thread count); [`run_campaign`] pins the reference engine,
+//! [`run_campaign_cfg`] selects per an explicit [`EngineConfig`].
 
 use crate::activity::ActivityPlan;
+use crate::engine::{EngineConfig, EngineKind, NodeBank};
 use crate::faults::FaultPlan;
 use crate::paging::PagingModel;
 use crate::result::{CampaignResult, FaultSummary};
@@ -229,21 +237,134 @@ struct RunningJob {
     prologue: Vec<CounterSnapshot>,
 }
 
-/// Daemon adaptor over advanced node states.
-struct NodeSource<'a> {
-    nodes: &'a [NodeState],
+/// The node-state engine behind the event loop: same operations, same
+/// results, two implementations (see the module docs).
+enum Engine {
+    Reference(Vec<NodeState>),
+    Batch(NodeBank),
+}
+
+impl Engine {
+    fn new(kind: EngineKind, selection: &CounterSelection, nodes: usize) -> Self {
+        match kind {
+            EngineKind::Reference => Engine::Reference(
+                (0..nodes)
+                    .map(|_| NodeState::new(selection.clone()))
+                    .collect(),
+            ),
+            EngineKind::Batch => Engine::Batch(NodeBank::new(selection.clone(), nodes)),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Engine::Reference(nodes) => nodes.len(),
+            Engine::Batch(bank) => bank.node_count(),
+        }
+    }
+
+    fn set_activity(&mut self, node: usize, t: f64, plan: Option<ActivityPlan>) {
+        match self {
+            Engine::Reference(nodes) => nodes[node].set_activity(t, plan),
+            Engine::Batch(bank) => bank.set_activity(node, t, plan),
+        }
+    }
+
+    /// Puts every listed node on `plan` at `t` — the job start/finish
+    /// path. Equivalent to [`Engine::set_activity`] per node; the batch
+    /// engine interns the plan once and hands the other nodes refcount
+    /// bumps instead of a deep plan comparison each.
+    fn set_activity_many(&mut self, targets: &[usize], t: f64, plan: ActivityPlan) {
+        match self {
+            Engine::Reference(nodes) => {
+                for &n in targets {
+                    nodes[n].set_activity(t, Some(plan.clone()));
+                }
+            }
+            Engine::Batch(bank) => bank.set_activity_many(targets, t, plan),
+        }
+    }
+
+    fn snapshot_at(&mut self, node: usize, t: f64) -> CounterSnapshot {
+        match self {
+            Engine::Reference(nodes) => nodes[node].snapshot_at(t),
+            Engine::Batch(bank) => bank.snapshot_at(node, t),
+        }
+    }
+
+    fn snapshot(&self, node: usize) -> CounterSnapshot {
+        match self {
+            Engine::Reference(nodes) => nodes[node].hpm().snapshot(),
+            Engine::Batch(bank) => bank.snapshot(node),
+        }
+    }
+
+    /// [`Engine::snapshot`] into an existing snapshot, reusing its
+    /// buffers (the sweep loop recycles retired daemon baselines).
+    fn snapshot_into(&self, node: usize, out: &mut CounterSnapshot) {
+        match self {
+            Engine::Reference(nodes) => nodes[node].hpm().snapshot_into(out),
+            Engine::Batch(bank) => bank.snapshot_into(node, out),
+        }
+    }
+
+    fn reboot(&mut self, node: usize, t: f64) {
+        match self {
+            Engine::Reference(nodes) => nodes[node].reboot(t),
+            Engine::Batch(bank) => bank.reboot(node, t),
+        }
+    }
+
+    /// Advances every node to `t` — the sampling pass's hot path.
+    fn advance_all(&mut self, t: f64, chunk: usize) {
+        match self {
+            Engine::Reference(nodes) => {
+                if sp2_trace::enabled() {
+                    // Worker-busy time is clocked per worker chunk, not
+                    // per node: one Instant pair per chunk keeps the
+                    // traced path inside the overhead budget while still
+                    // summing all on-worker time. Chunking never changes
+                    // results — nodes are independent and each advances
+                    // exactly once.
+                    nodes.par_chunks_mut(chunk).for_each(|chunk| {
+                        let t0 = std::time::Instant::now();
+                        for n in chunk.iter_mut() {
+                            n.advance(t);
+                        }
+                        crate::metrics::ADVANCE_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
+                    });
+                } else {
+                    nodes.par_iter_mut().for_each(|n| n.advance(t));
+                }
+            }
+            Engine::Batch(bank) => {
+                if sp2_trace::enabled() {
+                    let t0 = std::time::Instant::now();
+                    bank.advance_all(t);
+                    crate::metrics::ADVANCE_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
+                } else {
+                    bank.advance_all(t);
+                }
+            }
+        }
+    }
+}
+
+/// Daemon adaptor over the advanced engine.
+struct EngineSource<'a> {
+    engine: &'a Engine,
     down: &'a [bool],
 }
 
-impl CounterSource for NodeSource<'_> {
+impl CounterSource for EngineSource<'_> {
     fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.engine.node_count()
     }
     fn node_available(&self, node: usize) -> bool {
         !self.down[node]
     }
     fn snapshot(&self, node: usize) -> CounterSnapshot {
-        self.nodes[node].hpm().snapshot()
+        self.engine.snapshot(node)
     }
 }
 
@@ -254,12 +375,54 @@ impl CounterSource for NodeSource<'_> {
 /// With [`FaultPlan::none`] the result is bit-identical to a fault-free
 /// engine at any thread count; with a generated plan the result is fully
 /// determined by the trace seed and the fault seed.
+///
+/// Runs on the reference per-node engine — the baseline the batch
+/// engine's equivalence suite is proven against. Production callers go
+/// through [`run_campaign_cfg`], which defaults to the (bit-identical,
+/// faster) batch engine.
 pub fn run_campaign(
     config: &ClusterConfig,
     library: &WorkloadLibrary,
     trace: &[SubmittedJob],
     days: u32,
     faults: &FaultPlan,
+) -> Result<CampaignResult, CampaignError> {
+    run_campaign_inner(config, library, trace, days, faults, EngineKind::Reference)
+}
+
+/// Runs the campaign under an explicit [`EngineConfig`]: applies its
+/// switches, builds a dedicated worker pool if `threads` is set
+/// (inheriting the caller's pool otherwise), and selects the node
+/// engine. Campaign results are bit-identical under every engine,
+/// thread count, and switch setting.
+pub fn run_campaign_cfg(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    trace: &[SubmittedJob],
+    days: u32,
+    faults: &FaultPlan,
+    engine: &EngineConfig,
+) -> Result<CampaignResult, CampaignError> {
+    engine.apply();
+    match engine.threads {
+        Some(threads) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .map_err(|e| CampaignError::ThreadPool(e.to_string()))?;
+            pool.install(|| run_campaign_inner(config, library, trace, days, faults, engine.engine))
+        }
+        None => run_campaign_inner(config, library, trace, days, faults, engine.engine),
+    }
+}
+
+fn run_campaign_inner(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    trace: &[SubmittedJob],
+    days: u32,
+    faults: &FaultPlan,
+    kind: EngineKind,
 ) -> Result<CampaignResult, CampaignError> {
     let _campaign_span = crate::metrics::CAMPAIGN.span();
     let _campaign_ev = sp2_trace::events::span("campaign", "phase");
@@ -270,11 +433,9 @@ pub fn run_campaign(
     let daemon_sig = daemon_sample_signature(&config.machine);
     let idle_plan = ActivityPlan::idle(&daemon_sig, &config.paging);
 
-    let mut nodes: Vec<NodeState> = (0..config.nodes)
-        .map(|_| NodeState::new(selection.clone()))
-        .collect();
-    for n in nodes.iter_mut() {
-        n.set_activity(0.0, Some(idle_plan.clone()));
+    let mut engine = Engine::new(kind, &selection, config.nodes);
+    for n in 0..config.nodes {
+        engine.set_activity(n, 0.0, Some(idle_plan.clone()));
     }
 
     let mut pbs = Pbs::new(config.nodes).with_drain_threshold(config.drain_threshold);
@@ -320,8 +481,8 @@ pub fn run_campaign(
     // Baseline daemon pass at t=0 (flight-recorder sweep 0 only
     // baselines the interval series, exactly like the daemon itself).
     daemon.collect(
-        &NodeSource {
-            nodes: &nodes,
+        &EngineSource {
+            engine: &engine,
             down: &down,
         },
         0.0,
@@ -331,7 +492,7 @@ pub fn run_campaign(
     // Start any jobs PBS can place at `now`.
     let start_jobs = |now: f64,
                       pbs: &mut Pbs,
-                      nodes: &mut Vec<NodeState>,
+                      engine: &mut Engine,
                       running: &mut HashMap<JobId, RunningJob>,
                       heap: &mut BinaryHeap<Reverse<Scheduled>>,
                       seq: &mut u64,
@@ -366,9 +527,9 @@ pub fn run_campaign(
             );
             let mut prologue = Vec::with_capacity(started.nodes.len());
             for &n in &started.nodes {
-                prologue.push(nodes[n].snapshot_at(now));
-                nodes[n].set_activity(now, Some(plan.clone()));
+                prologue.push(engine.snapshot_at(n, now));
             }
+            engine.set_activity_many(&started.nodes, now, plan);
             // PBS enforces the walltime limit: a job that would run past
             // its request is killed at the limit (no checkpointing on
             // the SP2, so killed means gone).
@@ -391,10 +552,23 @@ pub fn run_campaign(
     // Advance-tick chunk size, hoisted out of the event loop: the node
     // count is fixed for the whole campaign, so deriving it (and
     // allocating a chunk list) on every sample tick was pure waste.
-    let advance_chunk = nodes
-        .len()
+    let advance_chunk = config
+        .nodes
         .div_ceil(rayon::current_num_threads().max(1))
         .max(1);
+
+    // The sweep batch, reused across samples: `collect_batch` moves each
+    // fresh snapshot in as a node's new baseline and leaves the retired
+    // one behind, so after the first two sweeps the sampling pass
+    // recycles the same buffers and allocates nothing.
+    let mut sweep_batch: Vec<Option<CounterSnapshot>> = vec![None; config.nodes];
+
+    // Cluster-interval fast-forward: the batch engine may elide runs of
+    // steady sweeps (see the Sample arm). The reference engine never
+    // does — it is the baseline the elision is proven against — and
+    // `--no-fast-forward` forces full stepping for A/B runs, the same
+    // switch that governs the kernel-level fast-forward.
+    let steady_ff = matches!(engine, Engine::Batch(_)) && sp2_power2::fast_forward_enabled();
 
     while let Some(Reverse(Scheduled { t, ev, .. })) = heap.pop() {
         if t > horizon {
@@ -413,7 +587,7 @@ pub fn run_campaign(
                 start_jobs(
                     t,
                     &mut pbs,
-                    &mut nodes,
+                    &mut engine,
                     &mut running,
                     &mut heap,
                     &mut seq,
@@ -430,11 +604,11 @@ pub fn run_campaign(
                     continue;
                 };
                 let mut pairs = Vec::with_capacity(job.nodes.len());
-                for (k, &n) in job.nodes.iter().enumerate() {
-                    let after = nodes[n].snapshot_at(t);
-                    nodes[n].set_activity(t, Some(idle_plan.clone()));
-                    pairs.push((job.prologue[k].clone(), after));
+                for (before, &n) in job.prologue.into_iter().zip(job.nodes.iter()) {
+                    let after = engine.snapshot_at(n, t);
+                    pairs.push((before, after));
                 }
+                engine.set_activity_many(&job.nodes, t, idle_plan.clone());
                 job_reports.push(JobCounterReport::from_snapshots(
                     &selection,
                     job.spec.id.0,
@@ -457,7 +631,7 @@ pub fn run_campaign(
                 start_jobs(
                     t,
                     &mut pbs,
-                    &mut nodes,
+                    &mut engine,
                     &mut running,
                     &mut heap,
                     &mut seq,
@@ -474,57 +648,132 @@ pub fn run_campaign(
                     daemon.restart();
                     summary.daemon_restarts += 1;
                 }
-                // Batched sampling pass: advance every node's counters to
-                // `t` in parallel (nodes are independent between events),
-                // then snapshot serially in index order. Down nodes are
-                // skipped exactly as the real cron script skipped
-                // unavailable nodes; glitched nodes return their raw
-                // 32-bit registers. The daemon folds the batch in index
-                // order, so the sample is bit-identical at any thread
-                // count.
-                {
-                    let advance_span = crate::metrics::ADVANCE.span();
-                    let _advance_ev = sp2_trace::events::span("advance", "phase");
-                    if sp2_trace::enabled() {
-                        // Worker-busy time is clocked per worker chunk,
-                        // not per node: one Instant pair per chunk keeps
-                        // the traced path inside the overhead budget
-                        // while still summing all on-worker time.
-                        // Chunking never changes results — nodes are
-                        // independent and each advances exactly once.
-                        nodes.par_chunks_mut(advance_chunk).for_each(|chunk| {
-                            let t0 = std::time::Instant::now();
-                            for n in chunk.iter_mut() {
-                                n.advance(t);
-                            }
-                            crate::metrics::ADVANCE_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
-                        });
-                    } else {
-                        nodes.par_iter_mut().for_each(|n| n.advance(t));
+                // Gather the steady run: this sweep plus every Sample
+                // event that follows it directly on the heap — same
+                // cadence, nothing scheduled in between, and no fault
+                // interaction of its own. Between two such sweeps no
+                // job, outage, or glitch can touch any node, which is
+                // the precondition for the cluster-interval
+                // fast-forward below.
+                let mut run: Vec<(u64, f64)> = vec![(k, t)];
+                if steady_ff {
+                    while let Some(&Reverse(next)) = heap.peek() {
+                        let Ev::Sample(kk) = next.ev else { break };
+                        let prev_k = run[run.len() - 1].0;
+                        if kk != prev_k + 1
+                            || next.t > horizon
+                            || faults.sweep_missed(kk)
+                            || faults.restart_before_sweep(kk)
+                            || !faults.glitched_nodes(kk).is_empty()
+                        {
+                            break;
+                        }
+                        crate::metrics::EVENTS.inc();
+                        run.push((kk, next.t));
+                        heap.pop();
                     }
-                    drop(advance_span);
                 }
-                let _sample_span = crate::metrics::SAMPLE.span();
-                let _sample_ev = sp2_trace::events::span("sample", "phase");
-                let glitched = faults.glitched_nodes(k);
-                let snapshots: Vec<Option<CounterSnapshot>> = nodes
-                    .iter()
-                    .enumerate()
-                    .map(|(i, n)| {
-                        if down[i] {
-                            return None;
+                let active = down.iter().filter(|&&d| !d).count();
+                // A glitched first sweep may leave truncated baselines
+                // behind without tripping the plausibility check (early
+                // in a campaign the truncated delta can still be under
+                // PLAUSIBLE_DELTA_MAX), which would poison the template
+                // below — push the clone point one sweep further out so
+                // the template's baselines come from an untruncated
+                // snapshot.
+                let min_template = if faults.glitched_nodes(k).is_empty() {
+                    2
+                } else {
+                    3
+                };
+                let mut i = 0;
+                while i < run.len() {
+                    let (kk, tt) = run[i];
+                    // A run sweep at i >= 2 can clone run[i-1]'s sample:
+                    // run[i-1] sits one clean, exactly-900 s interval
+                    // after run[i-2], which advanced every node — so its
+                    // per-node deltas are pure one-interval deltas, and
+                    // every later sweep in the run repeats them exactly.
+                    // Full coverage (no anomalies, no re-baselining
+                    // nodes) makes the daemon side a pure replay too.
+                    // Scale-apply the lane deltas, replay the sample
+                    // with only the timestamp changed: bit-identical to
+                    // stepping (the equivalence suite runs with this
+                    // path on).
+                    let steady = i >= min_template
+                        && daemon
+                            .samples()
+                            .last()
+                            .is_some_and(|s| s.anomalies == 0 && s.nodes_sampled == active);
+                    if steady && run.len() - i >= 2 {
+                        let Engine::Batch(bank) = &mut engine else {
+                            break; // unreachable: runs are only gathered for the batch engine
+                        };
+                        let _ff_span = crate::metrics::ADVANCE.span();
+                        let _ff_ev = sp2_trace::events::span("cluster fast-forward", "phase");
+                        let steps = (run.len() - i) as u64;
+                        let t_final = run[run.len() - 1].1;
+                        bank.advance_steady(SAMPLE_INTERVAL_S, steps, t_final);
+                        for (n, slot) in sweep_batch.iter_mut().enumerate() {
+                            if down[n] {
+                                *slot = None;
+                                continue;
+                            }
+                            match slot.take() {
+                                Some(mut s) => {
+                                    bank.snapshot_into(n, &mut s);
+                                    *slot = Some(s);
+                                }
+                                None => *slot = Some(bank.snapshot(n)),
+                            }
                         }
-                        let snap = n.hpm().snapshot();
-                        if glitched.contains(&i) {
-                            Some(snap.truncate_to_hardware())
-                        } else {
-                            Some(snap)
+                        let times: Vec<f64> = run[i..].iter().map(|&(_, t2)| t2).collect();
+                        daemon.fast_forward_steady(&times, &mut sweep_batch);
+                        for &(k2, t2) in &run[i..] {
+                            sp2_trace::recorder::on_sweep(k2, t2);
                         }
-                    })
-                    .collect();
-                summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
-                daemon.collect_batch(&snapshots, t);
-                sp2_trace::recorder::on_sweep(k, t);
+                        break;
+                    }
+                    // Batched sampling pass: advance every node's
+                    // counters to `tt` (the engine parallelizes over its
+                    // pool when the bank is big enough), then snapshot
+                    // serially in index order. Down nodes are skipped
+                    // exactly as the real cron script skipped
+                    // unavailable nodes; glitched nodes return their
+                    // raw 32-bit registers. The daemon folds the batch
+                    // in index order, so the sample is bit-identical at
+                    // any thread count and under either engine.
+                    {
+                        let advance_span = crate::metrics::ADVANCE.span();
+                        let _advance_ev = sp2_trace::events::span("advance", "phase");
+                        engine.advance_all(tt, advance_chunk);
+                        drop(advance_span);
+                    }
+                    let _sample_span = crate::metrics::SAMPLE.span();
+                    let _sample_ev = sp2_trace::events::span("sample", "phase");
+                    let glitched = faults.glitched_nodes(kk);
+                    for (n, slot) in sweep_batch.iter_mut().enumerate() {
+                        if down[n] {
+                            *slot = None;
+                            continue;
+                        }
+                        let mut snap = match slot.take() {
+                            Some(mut s) => {
+                                engine.snapshot_into(n, &mut s);
+                                s
+                            }
+                            None => engine.snapshot(n),
+                        };
+                        if glitched.contains(&n) {
+                            snap = snap.truncate_to_hardware();
+                        }
+                        *slot = Some(snap);
+                    }
+                    summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
+                    daemon.collect_batch(&mut sweep_batch, tt);
+                    sp2_trace::recorder::on_sweep(kk, tt);
+                    i += 1;
+                }
             }
             Ev::NodeDown(node) => {
                 if down[node] {
@@ -538,7 +787,7 @@ pub fn run_campaign(
                 down[node] = true;
                 // The node crashes: counters freeze at `t` (they advanced
                 // while the job computed up to the crash).
-                nodes[node].set_activity(t, None);
+                engine.set_activity(node, t, None);
                 let victim = pbs.take_node_offline(node);
                 if let Some(id) = victim {
                     let killed = pbs.kill(id, t)?;
@@ -547,7 +796,7 @@ pub fn run_campaign(
                         // epilogue runs for a killed job.
                         for &n in &job.nodes {
                             if n != node && !down[n] {
-                                nodes[n].set_activity(t, Some(idle_plan.clone()));
+                                engine.set_activity(n, t, Some(idle_plan.clone()));
                             }
                         }
                         let requeued = job.attempt + 1 < MAX_JOB_ATTEMPTS;
@@ -585,7 +834,7 @@ pub fn run_campaign(
                 start_jobs(
                     t,
                     &mut pbs,
-                    &mut nodes,
+                    &mut engine,
                     &mut running,
                     &mut heap,
                     &mut seq,
@@ -605,15 +854,15 @@ pub fn run_campaign(
                 down[node] = false;
                 // Repair and reboot: the monitor state did not survive,
                 // so the daemon will re-baseline this node.
-                nodes[node].reboot(t);
-                nodes[node].set_activity(t, Some(idle_plan.clone()));
+                engine.reboot(node, t);
+                engine.set_activity(node, t, Some(idle_plan.clone()));
                 pbs.bring_node_online(node);
                 drop(fault_ev);
                 drop(fault_span);
                 start_jobs(
                     t,
                     &mut pbs,
-                    &mut nodes,
+                    &mut engine,
                     &mut running,
                     &mut heap,
                     &mut seq,
@@ -710,7 +959,16 @@ pub fn run_replications(
                 ..*base_spec
             };
             let jobs = sp2_workload::trace::generate(&spec, mix, library);
-            run_campaign(config, library, &jobs, spec.days, faults)
+            // The default (batch) engine: bit-identical to the reference
+            // and much faster, which compounds across replications.
+            run_campaign_inner(
+                config,
+                library,
+                &jobs,
+                spec.days,
+                faults,
+                EngineKind::default(),
+            )
         })
         .collect::<Vec<Result<CampaignResult, CampaignError>>>()
         .into_iter()
@@ -846,6 +1104,47 @@ mod tests {
                     .any(|r2| r2.id == rec.id && r2.start >= rec.end && r2.outcome != rec.outcome)
         });
         assert!(reran, "requeued jobs must get another attempt");
+    }
+
+    #[test]
+    fn batch_engine_matches_reference_bitwise() {
+        // The full equivalence suite (tests/engine_equivalence.rs) runs
+        // larger campaigns across thread counts; this is the fast smoke
+        // version: one small faulted campaign, both engines, every
+        // dataset compared with `==` (u64 counters and exact f64s).
+        let config = ClusterConfig::builder()
+            .nodes(24)
+            .drain_threshold(12)
+            .build()
+            .expect("valid config");
+        let library = WorkloadLibrary::build(&config.machine, 42);
+        let spec = CampaignSpec {
+            days: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        // The NAS mix includes jobs wider than this scaled-down machine;
+        // keep the ones that fit (PBS rejects oversized requests).
+        let jobs: Vec<_> = trace::generate(&spec, &JobMix::nas(), &library)
+            .into_iter()
+            .filter(|j| j.nodes as usize <= 24)
+            .collect();
+        let plan = FaultPlan::generate(24, 2, 1.5, 9);
+        let reference =
+            run_campaign(&config, &library, &jobs, spec.days, &plan).expect("reference runs");
+        let batch = run_campaign_cfg(
+            &config,
+            &library,
+            &jobs,
+            spec.days,
+            &plan,
+            &EngineConfig::default(),
+        )
+        .expect("batch runs");
+        assert_eq!(reference.samples, batch.samples);
+        assert_eq!(reference.job_reports, batch.job_reports);
+        assert_eq!(reference.pbs_records, batch.pbs_records);
+        assert_eq!(reference.faults, batch.faults);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use crate::error::Sp2Error;
 use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
 use sp2_cluster::{
-    run_campaign_with_threads, run_replications, CampaignResult, ClusterConfig, FaultPlan,
+    run_campaign_cfg, run_replications, CampaignResult, ClusterConfig, EngineConfig, FaultPlan,
 };
+use sp2_power2::FastForward;
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 use std::collections::HashMap;
 
@@ -30,6 +31,7 @@ pub struct Sp2System {
     library: WorkloadLibrary,
     mix: JobMix,
     spec: CampaignSpec,
+    engine: EngineConfig,
     threads: usize,
     fault_rate: f64,
     fault_seed: u64,
@@ -44,6 +46,7 @@ pub struct Sp2SystemBuilder {
     library_seed: u64,
     mix: JobMix,
     spec: CampaignSpec,
+    engine: EngineConfig,
     threads: usize,
     fault_rate: f64,
     fault_seed: u64,
@@ -57,6 +60,7 @@ impl Default for Sp2SystemBuilder {
             library_seed: DEFAULT_LIBRARY_SEED,
             mix: JobMix::nas(),
             spec: CampaignSpec::default(),
+            engine: EngineConfig::default(),
             threads: 1,
             fault_rate: 0.0,
             fault_seed: DEFAULT_FAULT_SEED,
@@ -109,9 +113,20 @@ impl Sp2SystemBuilder {
     }
 
     /// Worker threads for the campaign engine (0 = one per core,
-    /// default 1). Results are identical at any setting.
+    /// default 1). Results are identical at any setting. Shorthand for
+    /// the same field on [`Sp2SystemBuilder::engine`]'s config, which
+    /// wins when it sets threads explicitly.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Replaces the engine configuration: engine kind, worker threads,
+    /// and the measurement switches (fast-forward, metrics, recording).
+    /// Results are bit-identical under every engine configuration — only
+    /// speed and instrumentation differ.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -129,16 +144,25 @@ impl Sp2SystemBuilder {
         self
     }
 
-    /// Assembles the system.
+    /// Assembles the system, applying the engine configuration's
+    /// switches (so kernel measurement during library construction
+    /// already honors them) and building the workload library under its
+    /// fast-forward policy.
     pub fn build(self) -> Sp2System {
-        let library = self
-            .library
-            .unwrap_or_else(|| WorkloadLibrary::build(&self.config.machine, self.library_seed));
+        crate::timeline::apply_engine_config(&self.engine);
+        let fast_forward = match self.engine.fast_forward {
+            Some(false) => FastForward::Off,
+            _ => FastForward::Auto,
+        };
+        let library = self.library.unwrap_or_else(|| {
+            WorkloadLibrary::build_with(&self.config.machine, self.library_seed, fast_forward)
+        });
         Sp2System {
             config: self.config,
             library,
             mix: self.mix,
             spec: self.spec,
+            engine: self.engine,
             threads: self.threads,
             fault_rate: self.fault_rate,
             fault_seed: self.fault_seed,
@@ -178,6 +202,11 @@ impl Sp2System {
     /// Campaign-engine worker threads (0 = one per core).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The engine configuration campaigns run under.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
     }
 
     /// Sets the worker-thread count for subsequent campaign runs.
@@ -273,13 +302,19 @@ impl Sp2System {
         } else {
             FaultPlan::none()
         };
-        let result = run_campaign_with_threads(
+        // The explicit engine config wins; the legacy `threads` knob
+        // fills in when it leaves the pool size unset.
+        let engine = EngineConfig {
+            threads: Some(self.engine.threads.unwrap_or(self.threads)),
+            ..self.engine
+        };
+        let result = run_campaign_cfg(
             &config,
             &self.library,
             &jobs,
             self.spec.days,
-            self.threads,
             &faults,
+            &engine,
         )?;
         self.campaigns.insert((kind, faulted), result);
         Ok(())

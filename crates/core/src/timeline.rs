@@ -45,6 +45,18 @@ pub fn disable_recording() {
     sp2_trace::set_recording(false);
 }
 
+/// Applies every switch an [`sp2_cluster::EngineConfig`] carries,
+/// including the flight-recorder cadence that the cluster layer cannot
+/// apply itself (the recorder's collector is this crate's aggregate
+/// metrics snapshot). `None` fields leave the process-wide settings
+/// untouched, so applying a default config changes nothing.
+pub fn apply_engine_config(engine: &sp2_cluster::EngineConfig) {
+    engine.apply();
+    if let Some(cadence) = engine.recording_cadence {
+        enable_recording(cadence);
+    }
+}
+
 fn pid(domain: Domain) -> u64 {
     match domain {
         Domain::Wall => PID_WALL,

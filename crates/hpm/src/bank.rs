@@ -41,6 +41,17 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// Overwrites this snapshot with the given per-slot values, reusing
+    /// its buffers. The allocation-free path for collection loops that
+    /// recycle retired snapshots instead of building fresh ones every
+    /// sweep.
+    pub fn copy_from_slices(&mut self, user: &[u64], system: &[u64]) {
+        self.user.clear();
+        self.user.extend_from_slice(user);
+        self.system.clear();
+        self.system.extend_from_slice(system);
+    }
+
     /// The reading a glitched collection pass would return: every counter
     /// truncated to its 32-bit hardware register, as if the kernel
     /// extension's 64-bit virtualization were bypassed for one read.
@@ -73,21 +84,31 @@ impl CounterDelta {
     /// Panics if the two snapshots have different slot counts (they came
     /// from different selections — meaningless to diff).
     pub fn between(before: &CounterSnapshot, after: &CounterSnapshot) -> CounterDelta {
+        let mut d = CounterDelta {
+            user: Vec::new(),
+            system: Vec::new(),
+        };
+        CounterDelta::between_into(before, after, &mut d);
+        d
+    }
+
+    /// [`CounterDelta::between`] into an existing delta, reusing its
+    /// buffers — the allocation-free path for per-node collection loops.
+    ///
+    /// # Panics
+    /// Panics if the two snapshots have different slot counts.
+    pub fn between_into(before: &CounterSnapshot, after: &CounterSnapshot, out: &mut CounterDelta) {
         assert_eq!(
             before.user.len(),
             after.user.len(),
             "snapshots from different counter selections"
         );
-        let diff = |b: &[u64], a: &[u64]| -> Vec<u64> {
-            a.iter()
-                .zip(b.iter())
-                .map(|(&av, &bv)| av.wrapping_sub(bv))
-                .collect()
+        let diff = |b: &[u64], a: &[u64], out: &mut Vec<u64>| {
+            out.clear();
+            out.extend(a.iter().zip(b.iter()).map(|(&av, &bv)| av.wrapping_sub(bv)));
         };
-        CounterDelta {
-            user: diff(&before.user, &after.user),
-            system: diff(&before.system, &after.system),
-        }
+        diff(&before.user, &after.user, &mut out.user);
+        diff(&before.system, &after.system, &mut out.system);
     }
 
     /// Combined user + system count for a slot.
@@ -192,6 +213,11 @@ impl Hpm {
             user: self.user.clone(),
             system: self.system.clone(),
         }
+    }
+
+    /// [`Hpm::snapshot`] into an existing snapshot, reusing its buffers.
+    pub fn snapshot_into(&self, out: &mut CounterSnapshot) {
+        out.copy_from_slices(&self.user, &self.system);
     }
 
     /// The raw 32-bit hardware register behind a slot: the low half of

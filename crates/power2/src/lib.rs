@@ -33,6 +33,7 @@
     not(test),
     warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod handler;
@@ -43,10 +44,11 @@ pub mod signature;
 pub mod steady;
 pub mod tlb;
 
+pub use batch::{BatchDelta, CounterBatch};
 pub use cache::{AccessOutcome, Cache, CacheConfig, WritePolicy};
 pub use config::{FpuDispatch, MachineConfig};
-pub use node::{Node, RunStats};
+pub use node::{Detail, FastForward, KernelReport, KernelRun, Node, RunStats};
 pub use sigcache::SignatureCache;
-pub use signature::{measure_on_fresh_node, KernelSignature};
+pub use signature::{measure_on_fresh_node, measure_on_fresh_node_with, KernelSignature};
 pub use steady::{fast_forward_enabled, set_fast_forward_enabled, FastForwardReport};
 pub use tlb::Tlb;

@@ -21,6 +21,120 @@ use sp2_isa::{AddrGen, Inst, Kernel};
 /// dispatch run ahead of issue (dispatch queue elasticity).
 const DISPATCH_LEAD: u64 = 4;
 
+/// Fast-forward policy for one kernel run (see [`KernelRun`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FastForward {
+    /// Engage the steady-state detector when the process-wide switch
+    /// ([`crate::steady::fast_forward_enabled`]) is on and the kernel is
+    /// long enough ([`steady::MIN_ITERS`]) to pay for the bookkeeping.
+    #[default]
+    Auto,
+    /// Always engage the detector, regardless of the global switch —
+    /// for benchmarks and diagnostics.
+    On,
+    /// Strictly cycle-by-cycle: the reference path the equivalence
+    /// suite compares against.
+    Off,
+}
+
+/// How much of the run's machinery to report back (see [`KernelRun`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Detail {
+    /// Just the [`RunStats`] (the common case).
+    #[default]
+    Stats,
+    /// Additionally return the [`FastForwardReport`] describing what
+    /// the steady-state machinery did.
+    Full,
+}
+
+/// Options for one [`Node::run_kernel`] call.
+///
+/// `&Kernel` converts into the default request (automatic fast-forward,
+/// stats only), so the common call stays `node.run_kernel(&kernel)`;
+/// builder methods select the other policies:
+///
+/// ```
+/// use sp2_power2::{Detail, FastForward, KernelRun, MachineConfig, Node};
+/// use sp2_isa::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("doc");
+/// let acc = b.fresh_fpr();
+/// let x = b.fresh_fpr();
+/// b.fma_acc(acc, x, x);
+/// b.loop_back();
+/// let kernel = b.build(1_000);
+///
+/// let mut node = Node::new(MachineConfig::nas_sp2());
+/// let full = node.run_kernel(KernelRun::new(&kernel).fast_forward(FastForward::Off));
+/// let reported = node.run_kernel(
+///     KernelRun::new(&kernel)
+///         .fast_forward(FastForward::On)
+///         .detail(Detail::Full),
+/// );
+/// assert_eq!(full.stats.events, reported.stats.events);
+/// assert!(reported.fast_forward.is_some());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRun<'k> {
+    /// The kernel to replay.
+    pub kernel: &'k Kernel,
+    /// When to engage the steady-state detector.
+    pub fast_forward: FastForward,
+    /// What to report back.
+    pub detail: Detail,
+}
+
+impl<'k> KernelRun<'k> {
+    /// The default request: automatic fast-forward, stats only.
+    pub fn new(kernel: &'k Kernel) -> Self {
+        KernelRun {
+            kernel,
+            fast_forward: FastForward::default(),
+            detail: Detail::default(),
+        }
+    }
+
+    /// Selects the fast-forward policy.
+    pub fn fast_forward(mut self, policy: FastForward) -> Self {
+        self.fast_forward = policy;
+        self
+    }
+
+    /// Selects the reporting detail.
+    pub fn detail(mut self, detail: Detail) -> Self {
+        self.detail = detail;
+        self
+    }
+}
+
+impl<'k> From<&'k Kernel> for KernelRun<'k> {
+    fn from(kernel: &'k Kernel) -> Self {
+        KernelRun::new(kernel)
+    }
+}
+
+/// Outcome of a [`Node::run_kernel`] call: the run statistics plus, at
+/// [`Detail::Full`], the fast-forward report.
+///
+/// Derefs to [`RunStats`], so `report.events`, `report.cycles`, and
+/// `report.mflops(..)` read straight through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Events and timing of the run.
+    pub stats: RunStats,
+    /// What the steady-state machinery did; `None` unless the request
+    /// asked for [`Detail::Full`].
+    pub fast_forward: Option<FastForwardReport>,
+}
+
+impl std::ops::Deref for KernelReport {
+    type Target = RunStats;
+    fn deref(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
 /// Outcome of running one kernel on a node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -197,24 +311,53 @@ impl Node {
     /// kernel is long enough, the run detects the loop's periodic steady
     /// state and accounts for the remaining whole periods algebraically —
     /// bit-identical to stepping them, but orders of magnitude faster on
-    /// periodic kernels ([`crate::steady`]). [`Node::run_kernel_full`]
-    /// forces the cycle-by-cycle path.
-    pub fn run_kernel(&mut self, kernel: &Kernel) -> RunStats {
-        let detect = steady::fast_forward_enabled() && kernel.iters >= steady::MIN_ITERS;
-        self.run(kernel, detect).0
+    /// periodic kernels ([`crate::steady`]).
+    ///
+    /// The request is a [`KernelRun`]: `&Kernel` converts into the
+    /// default (automatic fast-forward, stats only), and the builder
+    /// methods select the cycle-exact reference path
+    /// ([`FastForward::Off`]), forced detection ([`FastForward::On`]),
+    /// or a full [`FastForwardReport`] ([`Detail::Full`]).
+    pub fn run_kernel<'k>(&mut self, req: impl Into<KernelRun<'k>>) -> KernelReport {
+        let req = req.into();
+        let detect = match req.fast_forward {
+            FastForward::Auto => {
+                steady::fast_forward_enabled() && req.kernel.iters >= steady::MIN_ITERS
+            }
+            FastForward::On => true,
+            FastForward::Off => false,
+        };
+        let (stats, report) = self.run(req.kernel, detect);
+        KernelReport {
+            stats,
+            fast_forward: (req.detail == Detail::Full).then_some(report),
+        }
     }
 
     /// Replays `kernel` strictly cycle by cycle, never fast-forwarding.
-    /// The reference path the equivalence suite compares against.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_kernel(KernelRun::new(kernel).fast_forward(FastForward::Off))"
+    )]
     pub fn run_kernel_full(&mut self, kernel: &Kernel) -> RunStats {
-        self.run(kernel, false).0
+        self.run_kernel(KernelRun::new(kernel).fast_forward(FastForward::Off))
+            .stats
     }
 
-    /// Like [`Node::run_kernel`] but always engages the steady-state
-    /// detector (regardless of the global switch) and reports what it
-    /// did — for benchmarks, diagnostics, and the equivalence suite.
+    /// Like [`Node::run_kernel`] with forced detection, returning the
+    /// report as a tuple.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_kernel(KernelRun::new(kernel).fast_forward(FastForward::On).detail(Detail::Full))"
+    )]
     pub fn run_kernel_reported(&mut self, kernel: &Kernel) -> (RunStats, FastForwardReport) {
-        self.run(kernel, true)
+        let report = self.run_kernel(
+            KernelRun::new(kernel)
+                .fast_forward(FastForward::On)
+                .detail(Detail::Full),
+        );
+        let ff = report.fast_forward.unwrap_or_default();
+        (report.stats, ff)
     }
 
     /// State the steady-state detector fingerprints beyond [`LoopState`]:

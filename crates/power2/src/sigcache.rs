@@ -189,6 +189,21 @@ impl SignatureCache {
     /// already run (in any thread). Concurrent requests for the same
     /// uncached key coalesce onto a single in-flight simulation.
     pub fn measure(&self, kernel: &Kernel, config: &MachineConfig, seed: u64) -> KernelSignature {
+        self.measure_with(kernel, config, seed, crate::node::FastForward::Auto)
+    }
+
+    /// [`SignatureCache::measure`] with an explicit fast-forward policy
+    /// for the cache-miss simulation. The policy is deliberately *not*
+    /// part of the cache key: measured signatures are bit-identical
+    /// under every policy (the fast-forward equivalence suite proves
+    /// it), so keying on it would only duplicate residents.
+    pub fn measure_with(
+        &self,
+        kernel: &Kernel,
+        config: &MachineConfig,
+        seed: u64,
+        fast_forward: crate::node::FastForward,
+    ) -> KernelSignature {
         let hash = Self::key_hash(kernel, config, seed);
         loop {
             let (slot, leader) = {
@@ -221,7 +236,7 @@ impl SignatureCache {
                     let _span = crate::metrics::MEASURE.span();
                     let _ev = sp2_trace::events::span("sigcache miss", "sigcache");
                     let mut node = Node::with_seed(*config, seed);
-                    KernelSignature::measure(&mut node, kernel)
+                    KernelSignature::measure_with(&mut node, kernel, fast_forward)
                 };
                 *slot.lock_state() = SlotState::Done(Box::new(sig.clone()));
                 guard.published = true;

@@ -8,7 +8,7 @@
 //! simulation, not to a hand-entered constant.
 
 use crate::config::MachineConfig;
-use crate::node::Node;
+use crate::node::{FastForward, KernelRun, Node};
 use serde::{Deserialize, Serialize};
 use sp2_hpm::{EventSet, Signal};
 use sp2_isa::Kernel;
@@ -33,11 +33,18 @@ impl KernelSignature {
     /// state; measuring long runs amortizes cold misses the same way a
     /// production code's startup vanishes in a multi-hour job).
     pub fn measure(node: &mut Node, kernel: &Kernel) -> Self {
-        let stats = node.run_kernel(kernel);
+        Self::measure_with(node, kernel, FastForward::Auto)
+    }
+
+    /// [`KernelSignature::measure`] with an explicit fast-forward policy
+    /// (threaded down from an engine configuration instead of read from
+    /// the process-global switch). Results are bit-identical either way.
+    pub fn measure_with(node: &mut Node, kernel: &Kernel, fast_forward: FastForward) -> Self {
+        let report = node.run_kernel(KernelRun::new(kernel).fast_forward(fast_forward));
         KernelSignature {
             name: kernel.name.clone(),
-            events: stats.events,
-            cycles: stats.cycles.max(1),
+            events: report.stats.events,
+            cycles: report.stats.cycles.max(1),
             iters: kernel.iters,
             clock_hz: node.config().clock_hz,
         }
@@ -94,6 +101,19 @@ pub fn measure_on_fresh_node(
     seed: u64,
 ) -> KernelSignature {
     crate::sigcache::SignatureCache::global().measure(kernel, config, seed)
+}
+
+/// [`measure_on_fresh_node`] with an explicit fast-forward policy. The
+/// signature is bit-identical under every policy (the fast-forward
+/// equivalence suite proves it), so the cache key ignores the policy —
+/// this variant only controls how a cache miss is simulated.
+pub fn measure_on_fresh_node_with(
+    kernel: &Kernel,
+    config: &MachineConfig,
+    seed: u64,
+    fast_forward: crate::node::FastForward,
+) -> KernelSignature {
+    crate::sigcache::SignatureCache::global().measure_with(kernel, config, seed, fast_forward)
 }
 
 #[cfg(test)]

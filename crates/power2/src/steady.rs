@@ -92,7 +92,7 @@ pub const MIN_ITERS: u64 = 64;
 const MAX_WINDOW_CAP: u64 = 1 << 22;
 
 /// What one kernel run's fast-forward machinery did (returned by
-/// [`Node::run_kernel_reported`]).
+/// [`Node::run_kernel`] at [`crate::node::Detail::Full`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FastForwardReport {
     /// Whether the detector ran at all (false for forced-full runs and
@@ -330,6 +330,7 @@ impl Detector {
 mod tests {
     use super::*;
     use crate::config::MachineConfig;
+    use crate::node::{Detail, FastForward, KernelRun};
     use sp2_isa::KernelBuilder;
 
     fn register_kernel(iters: u64) -> Kernel {
@@ -347,8 +348,18 @@ mod tests {
     fn register_kernel_detects_quickly_and_matches_full() {
         let k = register_kernel(50_000);
         let cfg = MachineConfig::nas_sp2();
-        let full = Node::with_seed(cfg, 3).run_kernel_full(&k);
-        let (fast, report) = Node::with_seed(cfg, 3).run_kernel_reported(&k);
+        let full = Node::with_seed(cfg, 3)
+            .run_kernel(KernelRun::new(&k).fast_forward(FastForward::Off))
+            .stats;
+        let reported = Node::with_seed(cfg, 3).run_kernel(
+            KernelRun::new(&k)
+                .fast_forward(FastForward::On)
+                .detail(Detail::Full),
+        );
+        let (fast, report) = (
+            reported.stats,
+            reported.fast_forward.expect("Detail::Full requested"),
+        );
         assert_eq!(full, fast);
         assert!(report.engaged);
         assert!(report.detected(), "register kernel must reach steady state");
@@ -375,8 +386,18 @@ mod tests {
         b.loop_back();
         let k = b.build(5_000);
         let cfg = MachineConfig::nas_sp2();
-        let full = Node::with_seed(cfg, 3).run_kernel_full(&k);
-        let (fast, report) = Node::with_seed(cfg, 3).run_kernel_reported(&k);
+        let full = Node::with_seed(cfg, 3)
+            .run_kernel(KernelRun::new(&k).fast_forward(FastForward::Off))
+            .stats;
+        let reported = Node::with_seed(cfg, 3).run_kernel(
+            KernelRun::new(&k)
+                .fast_forward(FastForward::On)
+                .detail(Detail::Full),
+        );
+        let (fast, report) = (
+            reported.stats,
+            reported.fast_forward.expect("Detail::Full requested"),
+        );
         assert_eq!(full, fast);
         assert!(report.engaged && !report.detected());
         assert_eq!(report.simulated_iters, k.iters);

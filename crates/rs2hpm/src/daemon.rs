@@ -77,15 +77,20 @@ pub struct Daemon {
     selection: CounterSelection,
     prev: Vec<Option<CounterSnapshot>>,
     samples: Vec<SystemSample>,
+    /// Per-node delta scratch, reused across nodes and passes so the
+    /// collection loop never allocates.
+    scratch: CounterDelta,
 }
 
 impl Daemon {
     /// Creates the daemon for a machine of `nodes` nodes.
     pub fn new(selection: CounterSelection, nodes: usize) -> Self {
+        let slots = selection.len();
         Daemon {
             selection,
             prev: vec![None; nodes],
             samples: Vec::new(),
+            scratch: CounterDelta::zero(slots),
         }
     }
 
@@ -95,10 +100,10 @@ impl Daemon {
     /// can be formed), matching how the real script behaved after node
     /// reboots.
     pub fn collect<S: CounterSource>(&mut self, source: &S, t: f64) -> &SystemSample {
-        let snapshots: Vec<Option<CounterSnapshot>> = (0..source.node_count())
+        let mut snapshots: Vec<Option<CounterSnapshot>> = (0..source.node_count())
             .map(|node| source.node_available(node).then(|| source.snapshot(node)))
             .collect();
-        self.collect_batch(&snapshots, t)
+        self.collect_batch(&mut snapshots, t)
     }
 
     /// Ingests one machine-wide batch of snapshots taken at time `t`
@@ -110,9 +115,15 @@ impl Daemon {
     /// delta/baseline bookkeeping is identical to [`Daemon::collect`];
     /// nodes are always folded in index order, so the resulting sample is
     /// bit-identical however the snapshots were produced.
+    ///
+    /// The batch is taken by `&mut`: snapshots that become the new
+    /// per-node baselines are *moved* into the daemon, and each retired
+    /// baseline is left behind in the corresponding slot. A sweep loop
+    /// that re-fills the same batch every pass therefore recycles the
+    /// retired buffers and allocates nothing in steady state.
     pub fn collect_batch(
         &mut self,
-        snapshots: &[Option<CounterSnapshot>],
+        snapshots: &mut [Option<CounterSnapshot>],
         t: f64,
     ) -> &SystemSample {
         assert_eq!(
@@ -127,17 +138,20 @@ impl Daemon {
         let mut nodes_sampled = 0;
         let mut anomalies = 0;
         let mut baselines = 0u64;
-        for (node, snap) in snapshots.iter().enumerate() {
-            let Some(snap) = snap else {
+        for (node, slot) in snapshots.iter_mut().enumerate() {
+            let Some(snap) = slot.as_ref() else {
                 self.prev[node] = None;
                 continue;
             };
             if let Some(prev) = &self.prev[node] {
-                let d = CounterDelta::between(prev, snap);
-                if delta_plausible(&d) {
-                    total.accumulate(&d);
+                CounterDelta::between_into(prev, snap, &mut self.scratch);
+                if delta_plausible(&self.scratch) {
+                    total.accumulate(&self.scratch);
                     nodes_sampled += 1;
-                    self.prev[node] = Some(snap.clone());
+                    // The fresh snapshot becomes the baseline; the
+                    // retired one stays in the batch slot for the caller
+                    // to reuse as a buffer.
+                    std::mem::swap(&mut self.prev[node], slot);
                 } else {
                     // A corrupted read: drop the delta, count the anomaly,
                     // and discard the baseline so the node re-baselines
@@ -147,7 +161,7 @@ impl Daemon {
                 }
             } else {
                 baselines += 1;
-                self.prev[node] = Some(snap.clone());
+                self.prev[node] = slot.take();
             }
         }
         crate::metrics::NODES_SAMPLED.add(nodes_sampled as u64);
@@ -170,6 +184,55 @@ impl Daemon {
             rates,
         });
         &self.samples[idx]
+    }
+
+    /// Fast-forwards a run of steady sweeps: one appended sample per
+    /// entry of `times`, each a clone of the most recent sample with
+    /// only its timestamp replaced.
+    ///
+    /// The *caller* proves the steadiness — this method just replays it.
+    /// The guarantee required: between the previous sample and every
+    /// time in `times`, no node changed activity, availability, or
+    /// baseline state; the previous sample had no anomalies and no
+    /// re-baselining nodes (every available node contributed); and the
+    /// spacing of `times` equals the previous sample's interval. Under
+    /// those conditions each elided sweep's per-node delta is exactly
+    /// the previous sample's — same totals, same rates — so the clone is
+    /// bit-identical to what stepping would have produced.
+    ///
+    /// `snapshots` must hold every node's counters as of the *last* time
+    /// (`None` for unavailable nodes); they replace the per-node
+    /// baselines exactly as stepping would have left them. Like
+    /// [`Daemon::collect_batch`], the batch is taken by `&mut` and
+    /// retired baselines are left in the slots for buffer reuse.
+    pub fn fast_forward_steady(
+        &mut self,
+        times: &[f64],
+        snapshots: &mut [Option<CounterSnapshot>],
+    ) {
+        assert_eq!(
+            snapshots.len(),
+            self.prev.len(),
+            "batch must cover every node of the machine"
+        );
+        assert!(
+            !self.samples.is_empty(),
+            "fast-forward requires a preceding sample to replay"
+        );
+        let _sweep_ev = sp2_trace::events::span("daemon fast-forward", "rs2hpm");
+        let template = self.samples[self.samples.len() - 1].clone();
+        for &t in times {
+            let mut s = template.clone();
+            s.t = t;
+            self.samples.push(s);
+        }
+        crate::metrics::NODES_SAMPLED.add(template.nodes_sampled as u64 * times.len() as u64);
+        for (node, slot) in snapshots.iter_mut().enumerate() {
+            match slot.take() {
+                Some(snap) => *slot = self.prev[node].replace(snap),
+                None => self.prev[node] = None,
+            }
+        }
     }
 
     /// Simulates a daemon restart: every per-node baseline is lost, so
@@ -303,10 +366,10 @@ mod tests {
             toy.work(0, 250);
             toy.work(2, 40);
             let sa = a.collect(&toy, t).clone();
-            let snaps: Vec<_> = (0..3)
+            let mut snaps: Vec<_> = (0..3)
                 .map(|n| toy.node_available(n).then(|| toy.snapshot(n)))
                 .collect();
-            let sb = b.collect_batch(&snaps, t).clone();
+            let sb = b.collect_batch(&mut snaps, t).clone();
             assert_eq!(sa, sb);
         }
     }
@@ -315,7 +378,52 @@ mod tests {
     #[should_panic(expected = "every node")]
     fn collect_batch_rejects_short_batches() {
         let mut d = Daemon::new(nas_selection(), 3);
-        d.collect_batch(&[None], 0.0);
+        d.collect_batch(&mut [None], 0.0);
+    }
+
+    #[test]
+    fn fast_forward_steady_matches_stepped_collection() {
+        // A steady machine: node 2 down, nodes 0 and 1 doing the same
+        // work every interval. Step one daemon sweep by sweep and
+        // fast-forward the other; samples and baselines must agree.
+        let mut stepped = Daemon::new(nas_selection(), 3);
+        let mut jumped = Daemon::new(nas_selection(), 3);
+        let mut toy = Toy::new();
+        toy.down[2] = true;
+        let step = |toy: &mut Toy| {
+            toy.work(0, 1_000);
+            toy.work(1, 250);
+        };
+        // Baseline pass + one full pass so every available node has
+        // contributed (the steadiness precondition).
+        for t in [0.0, 900.0] {
+            step(&mut toy);
+            stepped.collect(&toy, t);
+            jumped.collect(&toy, t);
+        }
+        let times: Vec<f64> = (2..7).map(|k| 900.0 * k as f64).collect();
+        let mut toy2 = Toy {
+            hpms: toy.hpms.clone(),
+            down: toy.down.clone(),
+        };
+        for &t in &times {
+            step(&mut toy2);
+            stepped.collect(&toy2, t);
+        }
+        // The fast-forwarded daemon sees only the final snapshots.
+        for _ in &times {
+            step(&mut toy);
+        }
+        let mut finals: Vec<_> = (0..3)
+            .map(|n| toy.node_available(n).then(|| toy.snapshot(n)))
+            .collect();
+        jumped.fast_forward_steady(&times, &mut finals);
+        assert_eq!(stepped.samples(), jumped.samples());
+        // Baselines advanced identically: the next real sweep agrees.
+        toy.work(0, 77);
+        let sa = stepped.collect(&toy, 6_300.0).clone();
+        let sb = jumped.collect(&toy, 6_300.0).clone();
+        assert_eq!(sa, sb);
     }
 
     #[test]
@@ -342,13 +450,13 @@ mod tests {
         let mut d = Daemon::new(nas_selection(), 3);
         d.collect(&toy, 0.0);
         // Glitch: node 0's snapshot loses its high 32 bits this pass.
-        let snaps: Vec<Option<CounterSnapshot>> = (0..3)
+        let mut snaps: Vec<Option<CounterSnapshot>> = (0..3)
             .map(|n| {
                 let s = toy.snapshot(n);
                 Some(if n == 0 { s.truncate_to_hardware() } else { s })
             })
             .collect();
-        let s = d.collect_batch(&snaps, 900.0).clone();
+        let s = d.collect_batch(&mut snaps, 900.0).clone();
         assert_eq!(s.anomalies, 1, "wrapped delta discarded");
         assert_eq!(s.nodes_sampled, 2, "glitched node does not contribute");
         let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();

@@ -421,7 +421,7 @@ mod tests {
 
     fn run(k: &Kernel) -> sp2_power2::RunStats {
         let mut n = Node::with_seed(MachineConfig::nas_sp2(), 42);
-        n.run_kernel(k)
+        n.run_kernel(k).stats
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::kernels::{
 use crate::program::{CommSpec, JobProgram, ProgramFamily, ProgramId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sp2_power2::{measure_on_fresh_node, KernelSignature, MachineConfig};
+use sp2_power2::{measure_on_fresh_node_with, FastForward, KernelSignature, MachineConfig};
 
 /// Iterations used when measuring each kernel variant. Long enough that
 /// cold-start effects vanish below 1 %.
@@ -34,6 +34,14 @@ impl WorkloadLibrary {
     /// `seed` controls the parameter jitter (and only that — measurement
     /// itself is deterministic given the kernel).
     pub fn build(config: &MachineConfig, seed: u64) -> Self {
+        Self::build_with(config, seed, FastForward::Auto)
+    }
+
+    /// [`WorkloadLibrary::build`] with an explicit fast-forward policy
+    /// for the signature measurements (threaded from an engine
+    /// configuration instead of read from the process-global switch).
+    /// Signatures are bit-identical under every policy.
+    pub fn build_with(config: &MachineConfig, seed: u64, fast_forward: FastForward) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut lib = WorkloadLibrary {
             programs: Vec::new(),
@@ -45,7 +53,7 @@ impl WorkloadLibrary {
         for i in 0..20 {
             let p = jitter_cfd(&mut rng, false);
             let k = cfd_kernel(&format!("cfd-solver-v{i:02}"), &p, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (i as u64));
+            let sig = lib.add_signature(&k, seed ^ (i as u64), fast_forward);
             let comm_bytes = 50 * 50 * 25 * 8; // 50³ blocks, 25 vars (§4)
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
@@ -68,7 +76,7 @@ impl WorkloadLibrary {
         for i in 0..10 {
             let p = jitter_cfd(&mut rng, true);
             let k = cfd_kernel(&format!("cfd-bigmem-v{i:02}"), &p, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x100 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x100 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::CfdSolver,
@@ -99,7 +107,7 @@ impl WorkloadLibrary {
             p.indep_adds += rng.gen_range(0..3);
             p.streaming_loads += rng.gen_range(0..2);
             let k = cfd_kernel(&format!("npb-bt-v{i}"), &p, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x200 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x200 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::NpbBtLike,
@@ -121,7 +129,7 @@ impl WorkloadLibrary {
         for i in 0..5 {
             let p = jitter_cfd(&mut rng, false);
             let k = cfd_kernel(&format!("mdo-sweep-v{i}"), &p, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x300 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x300 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::Optimization,
@@ -137,7 +145,7 @@ impl WorkloadLibrary {
         // --- Development kernels -----------------------------------------
         {
             let k = blocked_matmul_kernel(MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ 0x400);
+            let sig = lib.add_signature(&k, seed ^ 0x400, fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::DevKernel,
@@ -149,7 +157,7 @@ impl WorkloadLibrary {
                 duty_cycle: 1.0,
             });
             let k = naive_matmul_kernel(MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ 0x401);
+            let sig = lib.add_signature(&k, seed ^ 0x401, fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::DevKernel,
@@ -165,7 +173,7 @@ impl WorkloadLibrary {
         // --- Streaming benchmark -----------------------------------------
         {
             let k = seqaccess_kernel(200_000);
-            let sig = lib.add_signature(&k, seed ^ 0x500);
+            let sig = lib.add_signature(&k, seed ^ 0x500, fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::SeqBench,
@@ -181,7 +189,7 @@ impl WorkloadLibrary {
         // --- BLAS3 scattering codes (rare, fast) --------------------------
         for i in 0..3 {
             let k = blas3_kernel(MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x700 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x700 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::Blas3,
@@ -203,7 +211,7 @@ impl WorkloadLibrary {
         for i in 0..3 {
             let stride = 4_096u64 << rng.gen_range(2..6); // 16 kB – 128 kB
             let k = spectral_kernel(&format!("spectral-v{i}"), stride, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x800 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x800 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::CfdSolver,
@@ -225,7 +233,7 @@ impl WorkloadLibrary {
         for i in 0..6 {
             let p = jitter_cfd(&mut rng, false);
             let k = cfd_kernel(&format!("interactive-v{i}"), &p, MEASURE_ITERS);
-            let sig = lib.add_signature(&k, seed ^ (0x600 + i as u64));
+            let sig = lib.add_signature(&k, seed ^ (0x600 + i as u64), fast_forward);
             lib.programs.push(JobProgram {
                 id: ProgramId(lib.programs.len()),
                 family: ProgramFamily::Interactive,
@@ -242,8 +250,13 @@ impl WorkloadLibrary {
         lib
     }
 
-    fn add_signature(&mut self, kernel: &sp2_isa::Kernel, seed: u64) -> usize {
-        let sig = measure_on_fresh_node(kernel, &self.config, seed);
+    fn add_signature(
+        &mut self,
+        kernel: &sp2_isa::Kernel,
+        seed: u64,
+        fast_forward: FastForward,
+    ) -> usize {
+        let sig = measure_on_fresh_node_with(kernel, &self.config, seed, fast_forward);
         self.signatures.push(sig);
         self.signatures.len() - 1
     }

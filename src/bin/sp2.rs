@@ -23,6 +23,7 @@
 //! failed engine run: 2 usage, 3 unknown experiment, 4 cluster
 //! configuration, 5 campaign spec, 6 campaign engine, 7 artifact i/o.
 
+use sp2_repro::cluster::{EngineConfig, EngineKind};
 use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
 use sp2_repro::core::{export, metrics, timeline, Sp2Error, Sp2System};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
@@ -63,9 +64,15 @@ OPTIONS:
     --faults RATE   fault-injection rate (default 0 = fault-free; 1.0 is
                     roughly a troubled production month)
     --fault-seed N  seed for the fault plan (default 4096)
+    --engine KIND   node engine: `batch` (default; struct-of-arrays bank
+                    with interned plans and cluster-interval
+                    fast-forward) or `reference` (the per-node loop the
+                    batch engine is proven against). Results are
+                    bit-identical either way
     --no-fast-forward
                     disable the steady-state fast-forward in the node
-                    simulator and cycle-step every kernel iteration
+                    simulator (kernel measurement and cluster-interval
+                    sweep elision) and step everything
                     (A/B escape hatch; results are bit-identical either
                     way, this only trades speed for paranoia)
     --json          print the dataset (or profile metrics) as JSON
@@ -125,6 +132,7 @@ struct Args {
     faults: f64,
     fault_seed: u64,
     json: bool,
+    engine: EngineKind,
     fast_forward: bool,
     /// `None` = tracing off; `Some(None)` = `--metrics` (table to stderr);
     /// `Some(Some(path))` = `--metrics PATH` (JSON to the file).
@@ -157,6 +165,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         faults: 0.0,
         fault_seed: 4_096,
         json: false,
+        engine: EngineKind::default(),
         fast_forward: true,
         metrics: None,
         trace_out: None,
@@ -197,6 +206,16 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
                     .map_err(|_| format!("bad --fault-seed value: {v}"))?;
             }
             "--json" => args.json = true,
+            "--engine" => {
+                let v = argv
+                    .next()
+                    .ok_or("--engine needs a value (batch|reference)")?;
+                args.engine = match v.as_str() {
+                    "batch" => EngineKind::Batch,
+                    "reference" => EngineKind::Reference,
+                    other => return Err(format!("bad --engine value: {other} (batch|reference)")),
+                };
+            }
             "--no-fast-forward" => args.fast_forward = false,
             "--metrics" => {
                 // The optional PATH is whatever non-option token follows;
@@ -302,22 +321,36 @@ fn dump_trace(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn run() -> Result<(), CliError> {
-    let args = parse_args().map_err(CliError::Usage)?;
+/// Pure translation from parsed flags to the engine configuration the
+/// run executes under. No process state changes here — the switches take
+/// effect when the config is applied.
+fn engine_config(args: &Args) -> EngineConfig {
+    let mut engine = EngineConfig::default()
+        .engine(args.engine)
+        .threads(args.threads);
     // The trace layer stays off (one relaxed atomic load per record site)
     // unless this invocation actually wants measurements.
     if args.metrics.is_some() || args.command == "profile" {
-        sp2_repro::trace::set_enabled(true);
+        engine = engine.metrics(true);
     }
     // Same for the flight recorder: only `timeline` and `--trace-out`
     // pay for span events and interval sampling.
     if args.trace_out.is_some() || args.command == "timeline" {
-        timeline::enable_recording(args.cadence);
+        engine = engine.recording_cadence(args.cadence);
     }
     if !args.fast_forward {
-        sp2_repro::power2::set_fast_forward_enabled(false);
+        engine = engine.fast_forward(false);
     }
-    dispatch(&args)?;
+    engine
+}
+
+fn run() -> Result<(), CliError> {
+    let args = parse_args().map_err(CliError::Usage)?;
+    let engine = engine_config(&args);
+    // Applied up front so commands that never build an Sp2System (probe,
+    // list) still honor --metrics / --trace-out / --no-fast-forward.
+    timeline::apply_engine_config(&engine);
+    dispatch(&args, engine)?;
     if let Some(dest) = &args.metrics {
         dump_metrics(dest.as_deref())?;
     }
@@ -327,7 +360,7 @@ fn run() -> Result<(), CliError> {
     Ok(())
 }
 
-fn dispatch(args: &Args) -> Result<(), CliError> {
+fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
     let cmd = args.command.as_str();
 
     match cmd {
@@ -353,7 +386,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
 
     let mut sys = Sp2System::builder()
         .days(args.days)
-        .threads(args.threads)
+        .engine(engine)
         .faults(args.faults)
         .fault_seed(args.fault_seed)
         .build();
@@ -462,10 +495,24 @@ mod tests {
         assert_eq!(args.days, 60);
         assert_eq!(args.threads, 1);
         assert_eq!(args.cadence, 1);
+        assert_eq!(args.engine, EngineKind::Batch);
         assert!(args.fast_forward);
         assert!(args.trace_out.is_none());
         assert!(args.metrics.is_none());
         assert!(!args.json);
+    }
+
+    #[test]
+    fn engine_flag_selects_the_kind() {
+        let args = parse(&["campaign", "--engine", "reference"]).expect("parses");
+        assert_eq!(args.engine, EngineKind::Reference);
+        assert_eq!(engine_config(&args).engine, EngineKind::Reference);
+
+        let args = parse(&["campaign", "--engine", "batch"]).expect("parses");
+        assert_eq!(args.engine, EngineKind::Batch);
+
+        assert!(parse(&["campaign", "--engine", "turbo"]).is_err());
+        assert!(parse(&["campaign", "--engine"]).is_err());
     }
 
     #[test]
@@ -486,6 +533,37 @@ mod tests {
         assert!(parse(&["timeline", "--cadence", "0"]).is_err());
         assert!(parse(&["timeline", "--cadence", "x"]).is_err());
         assert!(parse(&["timeline", "--cadence"]).is_err());
+    }
+
+    #[test]
+    fn flags_translate_to_engine_config() {
+        // Defaults: only the pool size is pinned; every switch stays
+        // None so process-wide settings are left alone.
+        let e = engine_config(&parse(&["table2"]).expect("parses"));
+        assert_eq!(e.threads, Some(1));
+        assert!(e.fast_forward.is_none());
+        assert!(e.metrics.is_none());
+        assert!(e.recording_cadence.is_none());
+
+        let e = engine_config(
+            &parse(&[
+                "timeline",
+                "--cadence",
+                "4",
+                "--no-fast-forward",
+                "--metrics",
+            ])
+            .expect("parses"),
+        );
+        assert_eq!(e.recording_cadence, Some(4));
+        assert_eq!(e.fast_forward, Some(false));
+        assert_eq!(e.metrics, Some(true));
+
+        // `profile` implies metrics; `--trace-out` implies recording.
+        let e = engine_config(&parse(&["profile"]).expect("parses"));
+        assert_eq!(e.metrics, Some(true));
+        let e = engine_config(&parse(&["table1", "--trace-out", "t.json"]).expect("parses"));
+        assert_eq!(e.recording_cadence, Some(1));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Equivalence suite for the batch node engine.
+//!
+//! The batch engine's contract (DESIGN.md "Batch node engine") is that
+//! its campaigns are *bit-identical* to the reference per-node engine:
+//! every daemon sample, per-job counter report, PBS accounting record,
+//! and fault summary — u64 counters compared exactly, f64 rates compared
+//! to the bit. The contract must hold at every worker-pool size (the
+//! work-stealing pool may execute lane adds in any order) and under the
+//! workloads that stress its plan interning and delta caching hardest:
+//! skewed job mixes full of wide jobs and churn, and fault plans that
+//! crash, reboot, and glitch nodes mid-campaign.
+
+use sp2_repro::cluster::{
+    run_campaign, run_campaign_cfg, ClusterConfig, EngineConfig, EngineKind, FaultPlan,
+};
+use sp2_repro::workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
+
+/// A mix deliberately unlike the NAS production mix: dominated by wide
+/// jobs (maximum plan sharing, drain pressure) and single-node stragglers
+/// (maximum activity churn), with most wide jobs oversubscribed. This is
+/// the adversarial case for the batch engine's interning and delta
+/// caches.
+fn skewed_mix() -> JobMix {
+    JobMix {
+        node_weights: vec![(1, 20.0), (16, 2.0), (64, 8.0), (128, 10.0)],
+        big_job_paging_prob: 0.9,
+        short_job_prob: 0.35,
+        ..JobMix::nas()
+    }
+}
+
+/// Runs one campaign on the reference engine, then re-runs it on the
+/// batch engine at 1, 2, and 8 worker threads (and the reference engine
+/// on an 8-thread pool as a control) and asserts every dataset is
+/// bit-identical.
+fn assert_engines_equivalent(mix: &JobMix, days: u32, seed: u64, faults: &FaultPlan) {
+    let config = ClusterConfig::default();
+    let library = WorkloadLibrary::build(&config.machine, 42);
+    let spec = CampaignSpec {
+        days,
+        seed,
+        ..Default::default()
+    };
+    let jobs = trace::generate(&spec, mix, &library);
+    let reference = run_campaign(&config, &library, &jobs, days, faults).expect("reference runs");
+
+    let mut runs = vec![(
+        "reference/8",
+        EngineConfig::default()
+            .engine(EngineKind::Reference)
+            .threads(8),
+    )];
+    for threads in [1usize, 2, 8] {
+        runs.push(("batch", EngineConfig::default().threads(threads)));
+    }
+    for (label, engine) in runs {
+        let other = run_campaign_cfg(&config, &library, &jobs, days, faults, &engine)
+            .expect("campaign runs");
+        let tag = format!("{label} threads={:?}", engine.threads);
+        assert_eq!(reference.samples, other.samples, "{tag}: samples");
+        assert_eq!(reference.job_reports, other.job_reports, "{tag}: jobs");
+        assert_eq!(reference.pbs_records, other.pbs_records, "{tag}: pbs");
+        assert_eq!(reference.faults, other.faults, "{tag}: faults");
+        // `==` on f64 admits -0.0 == +0.0; the contract is stronger, so
+        // spot-check the derived rates to the bit as well.
+        for (a, b) in reference.samples.iter().zip(&other.samples) {
+            assert_eq!(
+                a.rates.mflops.to_bits(),
+                b.rates.mflops.to_bits(),
+                "{tag}: mflops bits"
+            );
+            assert_eq!(
+                a.rates.mips.to_bits(),
+                b.rates.mips.to_bits(),
+                "{tag}: mips bits"
+            );
+        }
+    }
+}
+
+#[test]
+fn nas_mix_campaigns_are_bit_identical_across_engines_and_threads() {
+    assert_engines_equivalent(&JobMix::nas(), 2, 7, &FaultPlan::none());
+}
+
+#[test]
+fn skewed_mix_campaigns_are_bit_identical() {
+    assert_engines_equivalent(&skewed_mix(), 2, 1998, &FaultPlan::none());
+}
+
+#[test]
+fn faulted_campaigns_are_bit_identical() {
+    // Outages, daemon restarts, glitches, kills, and requeues all cross
+    // the engine boundary (set_activity(None), reboot, raw snapshots).
+    let faults = FaultPlan::generate(144, 2, 2.0, 11);
+    assert_engines_equivalent(&JobMix::nas(), 2, 7, &faults);
+}
+
+#[test]
+fn skewed_faulted_campaigns_are_bit_identical() {
+    let faults = FaultPlan::generate(144, 2, 1.5, 5);
+    assert_engines_equivalent(&skewed_mix(), 2, 3, &faults);
+}

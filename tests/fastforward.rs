@@ -8,14 +8,15 @@
 //! periodic (random access, unbounded strides, TLB-RNG draws) must fall
 //! back to full simulation and still agree trivially.
 //!
-//! These tests drive `run_kernel_full` / `run_kernel_reported` directly,
-//! which ignore the global enable switch — so they are safe under the
-//! parallel test harness. Only `global_switch_gates_measure` toggles the
+//! These tests pin the run's [`FastForward`] policy explicitly
+//! (`Off` for the reference, `On` for the detector), which ignores the
+//! global enable switch — so they are safe under the parallel test
+//! harness. Only `global_switch_gates_measure` toggles the
 //! process-global flag, and it is a single test for that reason.
 
 use sp2_repro::isa::{Kernel, KernelBuilder};
 use sp2_repro::power2::handler::{daemon_sample_kernel, page_fault_handler_kernel};
-use sp2_repro::power2::{FastForwardReport, MachineConfig, Node};
+use sp2_repro::power2::{Detail, FastForward, FastForwardReport, KernelRun, MachineConfig, Node};
 use sp2_repro::workload::kernels::{
     blas3_kernel, blocked_matmul_kernel, cfd_kernel, naive_matmul_kernel, seqaccess_kernel,
     spectral_kernel, CfdKernelParams,
@@ -26,8 +27,16 @@ use sp2_repro::workload::kernels::{
 /// callers can additionally assert detection or fallback.
 fn assert_equiv(kernel: &Kernel) -> FastForwardReport {
     let cfg = MachineConfig::nas_sp2();
-    let full = Node::with_seed(cfg, 1998).run_kernel_full(kernel);
-    let (fast, report) = Node::with_seed(cfg, 1998).run_kernel_reported(kernel);
+    let full = Node::with_seed(cfg, 1998)
+        .run_kernel(KernelRun::new(kernel).fast_forward(FastForward::Off))
+        .stats;
+    let reported = Node::with_seed(cfg, 1998).run_kernel(
+        KernelRun::new(kernel)
+            .fast_forward(FastForward::On)
+            .detail(Detail::Full),
+    );
+    let report = reported.fast_forward.expect("Detail::Full requested");
+    let fast = reported.stats;
     assert_eq!(
         full, fast,
         "{}: fast-forward diverged from full simulation (report {report:?})",

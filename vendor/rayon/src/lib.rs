@@ -1,20 +1,29 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, with a real work-stealing scheduler.
 //!
 //! Implements the slice/`Vec` parallel-iterator surface the workspace
-//! uses on top of `std::thread::scope`: inputs are split into at most
-//! `current_num_threads()` contiguous chunks, each chunk is mapped on its
-//! own OS thread, and results are concatenated in input order — so
-//! `par_iter().map(f).collect()` is position-for-position identical to
-//! the serial `iter().map(f).collect()` whenever `f` is a pure function
-//! of its element.
+//! uses on top of a persistent worker pool: every parallel call splits
+//! its index space into blocks, seeds each participant's deque with a
+//! contiguous run of blocks, and lets idle participants steal half of a
+//! victim's remaining blocks (Chase–Lev-style owner-bottom/thief-top
+//! protocol, simplified to a lock-guarded deque). Results are written
+//! into pre-sized output slots by index, so `par_iter().map(f).collect()`
+//! is position-for-position identical to the serial
+//! `iter().map(f).collect()` whenever `f` is a pure function of its
+//! element — regardless of which worker ran which block.
 //!
 //! Differences from real rayon, by design:
 //! - iterators are *eager*: `map` runs immediately and materializes a
 //!   `Vec` (every call site here either `collect`s or `for_each`es);
-//! - no work stealing: chunks are static, so one slow element can idle
-//!   other threads;
-//! - nested parallelism is serialized: worker threads run with an
-//!   effective thread count of 1 rather than oversubscribing.
+//! - deques are mutex-guarded rather than lock-free: block granularity
+//!   is coarse (a handful of pops per worker per call), so the lock is
+//!   not a contention point, and the stealing semantics are identical;
+//! - nested parallelism is serialized: worker threads (and the calling
+//!   thread while it participates) run with an effective thread count
+//!   of 1 rather than oversubscribing.
+//!
+//! Pool threads are spawned lazily, detached, and parked on a condvar
+//! between calls, so a campaign that samples thousands of sweeps pays
+//! thread-spawn cost zero times rather than once per sweep.
 //!
 //! `ThreadPool::install` scopes the thread count through a thread-local,
 //! which is how the campaign engine pins `threads = 1` vs. `threads = N`
@@ -94,7 +103,8 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool" is just a target thread count; threads are scoped per call.
+/// A pool handle is a target participant count; the worker threads
+/// themselves live in the process-wide lazy pool and are shared.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -119,8 +129,397 @@ impl ThreadPool {
     }
 }
 
+/// The work-stealing scheduler: block splitting, per-participant deques,
+/// the persistent worker pool, and the join protocol.
+pub(crate) mod pool {
+    use super::LOCAL_THREADS;
+    use std::collections::VecDeque;
+    use std::ops::Range;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+    use std::time::Duration;
+
+    /// A contiguous run of task indices; the unit of scheduling.
+    pub(crate) type Block = Range<usize>;
+
+    /// One participant's block queue. The owner pushes and pops at the
+    /// bottom (back); thieves take from the top (front), so the oldest —
+    /// and, with contiguous seeding, largest-granularity — work migrates
+    /// first, exactly the Chase–Lev access pattern.
+    pub(crate) struct Deque {
+        q: Mutex<VecDeque<Block>>,
+    }
+
+    fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl Deque {
+        pub(crate) fn new() -> Self {
+            Deque {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub(crate) fn push_bottom(&self, b: Block) {
+            lock_ignore_poison(&self.q).push_back(b);
+        }
+
+        pub(crate) fn pop_bottom(&self) -> Option<Block> {
+            lock_ignore_poison(&self.q).pop_back()
+        }
+
+        /// Steals the top half (rounded up) of this deque's blocks.
+        /// Returns the stolen blocks in age order (oldest first), empty
+        /// if there was nothing to steal.
+        pub(crate) fn steal_half(&self) -> Vec<Block> {
+            let mut q = lock_ignore_poison(&self.q);
+            let len = q.len();
+            if len == 0 {
+                return Vec::new();
+            }
+            let take = len.div_ceil(2);
+            q.drain(..take).collect()
+        }
+    }
+
+    /// Shared state of one parallel call. `exec_data`/`exec_fn` erase the
+    /// caller's block closure; the join protocol guarantees no worker
+    /// touches them after `run_blocks` returns.
+    struct Shared {
+        deques: Vec<Deque>,
+        status: Mutex<Status>,
+        done_cv: Condvar,
+        steals: AtomicUsize,
+        panicked: AtomicBool,
+        exec_data: *const (),
+        exec_fn: unsafe fn(*const (), Block),
+    }
+
+    // SAFETY: `exec_data` points at a `Sync` closure on the calling
+    // thread's stack; `run_blocks` joins all helpers before returning,
+    // so the pointer is only dereferenced while that frame is live.
+    unsafe impl Send for Shared {}
+    unsafe impl Sync for Shared {}
+
+    struct Status {
+        /// Blocks not yet finished executing.
+        remaining: usize,
+        /// Pool helpers currently inside `participate` for this call.
+        active: usize,
+    }
+
+    /// Outcome accounting for one parallel call (used by tests).
+    pub(crate) struct RunInfo {
+        /// Number of successful steal operations across all participants.
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub(crate) steals: usize,
+    }
+
+    unsafe fn call_closure<F: Fn(Block)>(data: *const (), b: Block) {
+        // SAFETY: `data` was created from `&F` in `run_blocks` and is
+        // live for the duration of the call (join-before-return).
+        unsafe { (*(data as *const F))(b) }
+    }
+
+    /// How initial blocks are distributed across participant deques.
+    pub(crate) enum Seed {
+        /// Contiguous runs of blocks per participant (the default).
+        Spread,
+        /// Everything on participant 0 — forces a steal storm (tests).
+        #[cfg_attr(not(test), allow(dead_code))]
+        AllOnOwner,
+    }
+
+    /// Executes `f` over every index block of `0..n` using up to
+    /// `threads` participants (the caller plus pool helpers), with
+    /// work-stealing rebalancing. Panics with "rayon stub worker
+    /// panicked" if any block's execution panicked.
+    pub(crate) fn run_blocks<F>(n: usize, threads: usize, seed: Seed, f: &F) -> RunInfo
+    where
+        F: Fn(Block) + Sync,
+    {
+        if n == 0 {
+            return RunInfo { steals: 0 };
+        }
+        if threads <= 1 {
+            f(0..n);
+            return RunInfo { steals: 0 };
+        }
+
+        // ~4 blocks per participant: enough slack for stealing to
+        // rebalance without shrinking blocks below useful granularity.
+        let block_size = n.div_ceil(threads * 4).max(1);
+        let blocks: Vec<Block> = (0..n)
+            .step_by(block_size)
+            .map(|s| s..(s + block_size).min(n))
+            .collect();
+        let workers = threads.min(blocks.len());
+        if workers <= 1 {
+            f(0..n);
+            return RunInfo { steals: 0 };
+        }
+
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Deque::new()).collect(),
+            status: Mutex::new(Status {
+                remaining: blocks.len(),
+                active: 0,
+            }),
+            done_cv: Condvar::new(),
+            steals: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            exec_data: f as *const F as *const (),
+            exec_fn: call_closure::<F>,
+        });
+
+        match seed {
+            Seed::AllOnOwner => {
+                for b in blocks {
+                    shared.deques[0].push_bottom(b);
+                }
+            }
+            Seed::Spread => {
+                // Contiguous runs keep each participant's initial working
+                // set cache-local; stealing only breaks contiguity when
+                // load is actually imbalanced.
+                let per = blocks.len().div_ceil(workers);
+                for (i, b) in blocks.into_iter().enumerate() {
+                    shared.deques[i / per].push_bottom(b);
+                }
+            }
+        }
+
+        global().submit(&shared, workers - 1);
+
+        // The caller participates as slot 0, with nested parallelism
+        // serialized exactly like the pool helpers.
+        let prev = LOCAL_THREADS.with(|c| c.replace(1));
+        participate(&shared, 0, true);
+        LOCAL_THREADS.with(|c| c.set(prev));
+
+        // Join protocol: pull unclaimed helper tickets, then wait for
+        // the claimed ones to leave `participate`. After this, nothing
+        // can touch `exec_data` again.
+        global().retract(&shared);
+        {
+            let mut st = lock_ignore_poison(&shared.status);
+            while st.active > 0 {
+                st = shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        if shared.panicked.load(Ordering::Relaxed) {
+            panic!("rayon stub worker panicked");
+        }
+        RunInfo {
+            steals: shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One participant's scheduling loop: drain own deque from the
+    /// bottom, then go stealing; helpers leave when no stealable work
+    /// remains, the owner stays until every block has finished.
+    fn participate(shared: &Shared, slot: usize, is_owner: bool) {
+        loop {
+            let block = pop_own(shared, slot).or_else(|| steal(shared, slot));
+            match block {
+                Some(b) => exec_block(shared, b),
+                None => {
+                    let st = lock_ignore_poison(&shared.status);
+                    if st.remaining == 0 {
+                        break;
+                    }
+                    if !is_owner {
+                        // Remaining blocks are in flight on other
+                        // participants (or mid-transfer to a thief that
+                        // will run them); nothing left for this helper.
+                        break;
+                    }
+                    // Owner: in-flight tail. Sleep until completion, with
+                    // a timeout so late steal-transfers get re-scanned.
+                    let _ = shared.done_cv.wait_timeout(st, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    fn pop_own(shared: &Shared, slot: usize) -> Option<Block> {
+        shared.deques[slot].pop_bottom()
+    }
+
+    /// Scans the other participants in ring order and steals half of the
+    /// first non-empty victim's blocks: one to run now, the rest onto
+    /// this participant's own deque.
+    fn steal(shared: &Shared, slot: usize) -> Option<Block> {
+        let w = shared.deques.len();
+        for off in 1..w {
+            let victim = (slot + off) % w;
+            let mut taken = shared.deques[victim].steal_half();
+            if taken.is_empty() {
+                continue;
+            }
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            let first = taken.remove(0);
+            let mut own = lock_ignore_poison(&shared.deques[slot].q);
+            for b in taken {
+                own.push_back(b);
+            }
+            drop(own);
+            // New stealable work appeared on this deque; a sleeping
+            // owner should re-scan rather than wait out its timeout.
+            shared.done_cv.notify_all();
+            return Some(first);
+        }
+        None
+    }
+
+    fn exec_block(shared: &Shared, b: Block) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: see `Shared` — the closure outlives all executions.
+            unsafe { (shared.exec_fn)(shared.exec_data, b) }
+        }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut st = lock_ignore_poison(&shared.status);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+
+    /// The process-wide lazy worker pool: detached threads parked on a
+    /// ticket queue. A ticket is (call, helper slot); claiming one and
+    /// registering as active happens under the queue lock so `retract`
+    /// can guarantee no unseen claims after it returns.
+    struct PoolState {
+        queue: Mutex<VecDeque<(Arc<Shared>, usize)>>,
+        cv: Condvar,
+        spawned: Mutex<usize>,
+    }
+
+    static POOL: OnceLock<PoolState> = OnceLock::new();
+
+    fn global() -> &'static PoolState {
+        POOL.get_or_init(|| PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            spawned: Mutex::new(0),
+        })
+    }
+
+    impl PoolState {
+        fn submit(&self, shared: &Arc<Shared>, helpers: usize) {
+            self.ensure_workers(helpers);
+            let mut q = lock_ignore_poison(&self.queue);
+            for slot in 1..=helpers {
+                q.push_back((Arc::clone(shared), slot));
+            }
+            drop(q);
+            self.cv.notify_all();
+        }
+
+        fn retract(&self, shared: &Arc<Shared>) {
+            let mut q = lock_ignore_poison(&self.queue);
+            q.retain(|(s, _)| !Arc::ptr_eq(s, shared));
+        }
+
+        fn ensure_workers(&self, wanted: usize) {
+            let mut spawned = lock_ignore_poison(&self.spawned);
+            while *spawned < wanted {
+                *spawned += 1;
+                std::thread::spawn(worker_main);
+            }
+        }
+    }
+
+    fn worker_main() {
+        LOCAL_THREADS.with(|c| c.set(1));
+        let pool = global();
+        loop {
+            let (shared, slot) = {
+                let mut q = lock_ignore_poison(&pool.queue);
+                loop {
+                    // Claim + activation under the queue lock (see
+                    // `PoolState` docs for why this pairing matters).
+                    if let Some((shared, slot)) = q.pop_front() {
+                        let mut st = lock_ignore_poison(&shared.status);
+                        if st.remaining == 0 {
+                            drop(st);
+                            continue;
+                        }
+                        st.active += 1;
+                        drop(st);
+                        break (shared, slot);
+                    }
+                    q = pool
+                        .cv
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            participate(&shared, slot, false);
+            let mut st = lock_ignore_poison(&shared.status);
+            st.active -= 1;
+            if st.active == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
 pub mod iter {
-    use super::{current_num_threads, LOCAL_THREADS};
+    use super::current_num_threads;
+    use super::pool::{self, Block, Seed};
+    use std::mem::MaybeUninit;
+
+    /// Raw pointer that may cross threads. Every use partitions the
+    /// pointee by index so no element is aliased across participants.
+    struct SendPtr<T>(*mut T);
+    // Manual impls: derive would add unwanted `T: Clone/Copy` bounds.
+    impl<T> Clone for SendPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for SendPtr<T> {}
+    unsafe impl<T> Send for SendPtr<T> {}
+    unsafe impl<T> Sync for SendPtr<T> {}
+
+    /// Computes `out[i] = f(i)` for `0..n` on the work-stealing pool;
+    /// output order is by index, independent of scheduling.
+    fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = current_num_threads().max(1);
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit needs no initialization.
+        unsafe { out.set_len(n) };
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let exec = |b: Block| {
+            let p = out_ptr;
+            for i in b {
+                // SAFETY: each index is executed by exactly one block,
+                // and blocks partition 0..n.
+                unsafe { p.0.add(i).write(MaybeUninit::new(f(i))) };
+            }
+        };
+        pool::run_blocks(n, threads, Seed::Spread, &exec);
+        // All n slots are initialized (run_blocks panics otherwise, and
+        // the MaybeUninit buffer leaks its initialized prefix — fine for
+        // a panic path). Reinterpret as the initialized vector.
+        let ptr = out.as_mut_ptr() as *mut R;
+        let (len, cap) = (out.len(), out.capacity());
+        std::mem::forget(out);
+        // SAFETY: same buffer, same layout, all elements initialized.
+        unsafe { Vec::from_raw_parts(ptr, len, cap) }
+    }
 
     /// Eager parallel iterator: the one required method materializes the
     /// mapped results in input order.
@@ -266,21 +665,21 @@ pub mod iter {
             R: Send,
             F: Fn(&'a mut [T]) -> R + Sync,
         {
-            let threads = current_num_threads().max(1);
-            if threads <= 1 || self.slice.len() <= self.chunk_size {
-                return self.slice.chunks_mut(self.chunk_size).map(f).collect();
+            let len = self.slice.len();
+            let cs = self.chunk_size;
+            if current_num_threads() <= 1 || len <= cs {
+                return self.slice.chunks_mut(cs).map(f).collect();
             }
-            let f = &f;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .slice
-                    .chunks_mut(self.chunk_size)
-                    .map(|c| s.spawn(move || on_worker(|| f(c))))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rayon stub worker panicked"))
-                    .collect()
+            let n_chunks = len.div_ceil(cs);
+            let base = SendPtr(self.slice.as_mut_ptr());
+            run_indexed(n_chunks, |ci| {
+                let p = base; // capture the Sync wrapper, not the raw field
+                let start = ci * cs;
+                let clen = cs.min(len - start);
+                // SAFETY: chunk `ci` covers indices disjoint from every
+                // other chunk, and run_indexed runs each `ci` once.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(p.0.add(start), clen) };
+                f(chunk)
             })
         }
     }
@@ -310,22 +709,10 @@ pub mod iter {
             F: Fn(&'a T) -> R + Sync,
         {
             let items = self.0;
-            let threads = current_num_threads().max(1);
-            if threads <= 1 || items.len() <= 1 {
+            if current_num_threads() <= 1 || items.len() <= 1 {
                 return items.iter().map(f).collect();
             }
-            let chunk = items.len().div_ceil(threads);
-            let f = &f;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = items
-                    .chunks(chunk)
-                    .map(|c| s.spawn(move || on_worker(|| c.iter().map(f).collect::<Vec<R>>())))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("rayon stub worker panicked"))
-                    .collect()
-            })
+            run_indexed(items.len(), |i| f(&items[i]))
         }
     }
 
@@ -339,72 +726,44 @@ pub mod iter {
             R: Send,
             F: Fn(&'a mut T) -> R + Sync,
         {
-            let mut rest = self.0;
-            let threads = current_num_threads().max(1);
-            if threads <= 1 || rest.len() <= 1 {
-                return rest.iter_mut().map(f).collect();
+            let items = self.0;
+            if current_num_threads() <= 1 || items.len() <= 1 {
+                return items.iter_mut().map(f).collect();
             }
-            let chunk = rest.len().div_ceil(threads);
-            let mut chunks: Vec<&'a mut [T]> = Vec::with_capacity(threads);
-            while !rest.is_empty() {
-                let take = chunk.min(rest.len());
-                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
-                chunks.push(head);
-                rest = tail;
-            }
-            let f = &f;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|c| s.spawn(move || on_worker(|| c.iter_mut().map(f).collect::<Vec<R>>())))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("rayon stub worker panicked"))
-                    .collect()
+            let len = items.len();
+            let base = SendPtr(items.as_mut_ptr());
+            run_indexed(len, |i| {
+                let p = base; // capture the Sync wrapper, not the raw field
+                              // SAFETY: disjoint indices, each executed exactly once,
+                              // borrow lives no longer than the underlying slice.
+                f(unsafe { &mut *p.0.add(i) })
             })
         }
     }
 
-    /// Order-preserving chunked parallel map over owned items.
+    /// Order-preserving work-stealing parallel map over owned items.
     fn vec_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        let threads = current_num_threads().max(1);
-        if threads <= 1 || items.len() <= 1 {
+        if current_num_threads() <= 1 || items.len() <= 1 {
             return items.into_iter().map(f).collect();
         }
-        let chunk = items.len().div_ceil(threads);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-        let mut it = items.into_iter();
-        loop {
-            let c: Vec<T> = it.by_ref().take(chunk).collect();
-            if c.is_empty() {
-                break;
-            }
-            chunks.push(c);
-        }
-        std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| s.spawn(move || on_worker(|| c.into_iter().map(f).collect::<Vec<R>>())))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("rayon stub worker panicked"))
-                .collect()
-        })
-    }
-
-    /// Runs a worker-thread body with nested parallelism disabled, so a
-    /// parallel region inside `f` degrades to serial instead of spawning
-    /// threads² deep.
-    fn on_worker<R>(body: impl FnOnce() -> R) -> R {
-        LOCAL_THREADS.with(|c| c.set(1));
-        body()
+        let n = items.len();
+        let mut src: Vec<MaybeUninit<T>> = items.into_iter().map(MaybeUninit::new).collect();
+        let src_ptr = SendPtr(src.as_mut_ptr());
+        let out = run_indexed(n, |i| {
+            let p = src_ptr; // capture the Sync wrapper, not the raw field
+                             // SAFETY: each element is moved out exactly once (one block
+                             // owns each index); `src` outlives the call and MaybeUninit
+                             // suppresses the double-drop.
+            let item = unsafe { p.0.add(i).read().assume_init() };
+            f(item)
+        });
+        drop(src);
+        out
     }
 }
 
@@ -413,7 +772,9 @@ mod tests {
     use super::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
+    use super::pool::{self, Seed};
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -446,5 +807,86 @@ mod tests {
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 3);
         assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn owned_elements_dropped_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let items: Vec<D> = (0..100).map(D).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| items.into_par_iter().map(|d| d.0).collect());
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_stub_message() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..64usize)
+                    .collect::<Vec<_>>()
+                    .par_iter()
+                    .for_each(|&i| assert!(i != 13, "boom"));
+            })
+        });
+        let err = r.expect_err("panic should propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("rayon stub worker panicked"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn deque_steal_half_takes_oldest_half() {
+        let d = pool::Deque::new();
+        for i in 0..8usize {
+            d.push_bottom(i..i + 1);
+        }
+        let stolen = d.steal_half();
+        // Thief takes the top (oldest) half: blocks 0..4, in age order.
+        assert_eq!(stolen, (0..4).map(|i| i..i + 1).collect::<Vec<_>>());
+        // Owner keeps the bottom half and still pops newest-first.
+        let mut left = Vec::new();
+        while let Some(b) = d.pop_bottom() {
+            left.push(b);
+        }
+        assert_eq!(left, (4..8).rev().map(|i| i..i + 1).collect::<Vec<_>>());
+        // Stealing from an emptied deque yields nothing.
+        assert!(d.steal_half().is_empty());
+    }
+
+    #[test]
+    fn steal_storm_rebalances_from_single_owner() {
+        // All work is seeded onto participant 0; sleeping tasks force
+        // the pool helpers to steal it away even on a single core.
+        const N: usize = 64;
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let exec = |b: std::ops::Range<usize>| {
+            for i in b {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        };
+        let info = pool::run_blocks(N, 4, Seed::AllOnOwner, &exec);
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+            "every task must run exactly once"
+        );
+        assert!(
+            info.steals > 0,
+            "helpers should have stolen from the loaded owner"
+        );
     }
 }
