@@ -1,0 +1,79 @@
+//! Benchmarks the two JSON render paths the artifact writers choose
+//! between: building the full `String` in memory (`to_string_pretty` /
+//! `to_string_compact`) versus streaming straight into an `io::Write`
+//! sink (`write_to` / the NDJSON writer). The streamed path is what
+//! `--metrics`, `--trace-out`, and the `sp2 serve` result store ride;
+//! this keeps its cost visible next to the in-memory baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp2_core::{Json, NdjsonWriter};
+
+/// A metrics-dump-shaped document: an object of `n` arrays of small
+/// objects — nesting and string escaping both get exercised.
+fn fixture(n: usize) -> Json {
+    let mut doc = Json::obj().field("schema", "sp2-bench/json-stream");
+    for group in 0..n {
+        let rows: Vec<Json> = (0..16)
+            .map(|i| {
+                Json::obj()
+                    .field("name", format!("group{group}.metric{i}"))
+                    .field("value", (group * 31 + i) as f64 * 0.125)
+                    .field("count", (i * 7) as u64)
+            })
+            .collect();
+        doc = doc.field(&format!("group{group}"), Json::Arr(rows));
+    }
+    doc
+}
+
+fn bench(c: &mut Criterion) {
+    let doc = fixture(64);
+    let bytes = doc.to_string_pretty().len() as u64;
+
+    let mut g = c.benchmark_group("json_stream");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("render/pretty_string", |b| {
+        b.iter(|| doc.to_string_pretty())
+    });
+    g.bench_function("render/compact_string", |b| {
+        b.iter(|| doc.to_string_compact())
+    });
+    g.bench_function("stream/pretty_write_to", |b| {
+        b.iter(|| {
+            let mut sink = Vec::with_capacity(bytes as usize);
+            doc.write_to(&mut sink).expect("vec sink never fails");
+            sink
+        })
+    });
+    g.bench_function("stream/compact_write_to", |b| {
+        b.iter(|| {
+            let mut sink = Vec::with_capacity(bytes as usize);
+            doc.write_compact_to(&mut sink)
+                .expect("vec sink never fails");
+            sink
+        })
+    });
+    g.finish();
+
+    // The serve streaming shape: many small documents, one per line.
+    let line_docs: Vec<Json> = (0..256)
+        .map(|i| {
+            Json::obj()
+                .field("event", "dataset")
+                .field("seq", i as u64)
+                .field("doc", fixture(1))
+        })
+        .collect();
+    c.bench_function("json_stream/ndjson_256_docs", |b| {
+        b.iter(|| {
+            let mut w = NdjsonWriter::new(Vec::new());
+            for d in &line_docs {
+                w.write_doc(d).expect("vec sink never fails");
+            }
+            w.into_inner()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

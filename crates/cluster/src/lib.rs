@@ -36,7 +36,8 @@ pub use faults::{FaultPlan, Outage};
 pub use paging::PagingModel;
 pub use result::{CampaignResult, FaultSummary};
 pub use sim::{
-    run_campaign, run_campaign_cfg, run_campaign_with_threads, run_replications, CampaignError,
-    ClusterConfig, ClusterConfigBuilder, ClusterConfigError,
+    run_campaign, run_campaign_cfg, run_campaign_cfg_cancellable, run_campaign_with_threads,
+    run_replications, CampaignError, CancelToken, ClusterConfig, ClusterConfigBuilder,
+    ClusterConfigError,
 };
 pub use state::NodeState;

@@ -175,6 +175,9 @@ pub enum CampaignError {
     /// PBS rejected a request the simulation issued (e.g. a trace job
     /// requesting more nodes than the configured machine has).
     Pbs(PbsError),
+    /// The campaign's [`CancelToken`] was raised mid-run. Partial state
+    /// is discarded; the campaign produced no result.
+    Cancelled,
 }
 
 impl fmt::Display for CampaignError {
@@ -182,7 +185,41 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::ThreadPool(e) => write!(f, "building the worker pool failed: {e}"),
             CampaignError::Pbs(e) => write!(f, "batch system rejected a request: {e}"),
+            CampaignError::Cancelled => write!(f, "campaign cancelled"),
         }
+    }
+}
+
+/// Cooperative cancellation handle for a running campaign.
+///
+/// The campaign service hands one of these to every job it schedules;
+/// raising it makes the event loop bail out with
+/// [`CampaignError::Cancelled`] at the next event boundary (one relaxed
+/// atomic load per event — the check never perturbs results, it only
+/// decides whether the loop keeps going). Tokens are sharable
+/// (`Arc<CancelToken>`) and idempotent: cancelling twice is fine, and a
+/// token raised before the run starts cancels it at the first event.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: std::sync::atomic::AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-raised token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the token; every campaign holding it bails at its next
+    /// event boundary.
+    pub fn cancel(&self) {
+        self.cancelled
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the token has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -387,7 +424,15 @@ pub fn run_campaign(
     days: u32,
     faults: &FaultPlan,
 ) -> Result<CampaignResult, CampaignError> {
-    run_campaign_inner(config, library, trace, days, faults, EngineKind::Reference)
+    run_campaign_inner(
+        config,
+        library,
+        trace,
+        days,
+        faults,
+        EngineKind::Reference,
+        None,
+    )
 }
 
 /// Runs the campaign under an explicit [`EngineConfig`]: applies its
@@ -403,6 +448,24 @@ pub fn run_campaign_cfg(
     faults: &FaultPlan,
     engine: &EngineConfig,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_cfg_cancellable(config, library, trace, days, faults, engine, None)
+}
+
+/// [`run_campaign_cfg`] with a cooperative [`CancelToken`]: the event
+/// loop polls it at every event boundary and returns
+/// [`CampaignError::Cancelled`] once it is raised. `None` behaves
+/// exactly like [`run_campaign_cfg`]. The campaign service uses this so
+/// a `cancel` request can reclaim the shared pool mid-campaign instead
+/// of waiting out a multi-month simulation.
+pub fn run_campaign_cfg_cancellable(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    trace: &[SubmittedJob],
+    days: u32,
+    faults: &FaultPlan,
+    engine: &EngineConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<CampaignResult, CampaignError> {
     engine.apply();
     match engine.threads {
         Some(threads) => {
@@ -410,9 +473,11 @@ pub fn run_campaign_cfg(
                 .num_threads(threads)
                 .build()
                 .map_err(|e| CampaignError::ThreadPool(e.to_string()))?;
-            pool.install(|| run_campaign_inner(config, library, trace, days, faults, engine.engine))
+            pool.install(|| {
+                run_campaign_inner(config, library, trace, days, faults, engine.engine, cancel)
+            })
         }
-        None => run_campaign_inner(config, library, trace, days, faults, engine.engine),
+        None => run_campaign_inner(config, library, trace, days, faults, engine.engine, cancel),
     }
 }
 
@@ -423,6 +488,7 @@ fn run_campaign_inner(
     days: u32,
     faults: &FaultPlan,
     kind: EngineKind,
+    cancel: Option<&CancelToken>,
 ) -> Result<CampaignResult, CampaignError> {
     let _campaign_span = crate::metrics::CAMPAIGN.span();
     let _campaign_ev = sp2_trace::events::span("campaign", "phase");
@@ -573,6 +639,9 @@ fn run_campaign_inner(
     while let Some(Reverse(Scheduled { t, ev, .. })) = heap.pop() {
         if t > horizon {
             break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(CampaignError::Cancelled);
         }
         crate::metrics::EVENTS.inc();
         match ev {
@@ -968,6 +1037,7 @@ pub fn run_replications(
                 spec.days,
                 faults,
                 EngineKind::default(),
+                None,
             )
         })
         .collect::<Vec<Result<CampaignResult, CampaignError>>>()

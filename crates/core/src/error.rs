@@ -23,6 +23,12 @@ pub enum Sp2Error {
     UnknownExperiment(String),
     /// An artifact could not be written.
     Io(std::io::Error),
+    /// A [`crate::Submission`] failed validation (same exit class as a
+    /// bad campaign spec — the submission is the spec's canonical form).
+    Submission(String),
+    /// A malformed serve-protocol request or response: not valid JSON,
+    /// missing fields, or an operation on a job the server doesn't know.
+    Protocol(String),
 }
 
 impl std::fmt::Display for Sp2Error {
@@ -33,6 +39,8 @@ impl std::fmt::Display for Sp2Error {
             Sp2Error::Campaign(e) => write!(f, "campaign engine: {e}"),
             Sp2Error::UnknownExperiment(id) => write!(f, "unknown experiment: {id}"),
             Sp2Error::Io(e) => write!(f, "artifact i/o: {e}"),
+            Sp2Error::Submission(m) => write!(f, "submission: {m}"),
+            Sp2Error::Protocol(m) => write!(f, "protocol: {m}"),
         }
     }
 }
@@ -45,6 +53,7 @@ impl std::error::Error for Sp2Error {
             Sp2Error::Campaign(e) => Some(e),
             Sp2Error::UnknownExperiment(_) => None,
             Sp2Error::Io(e) => Some(e),
+            Sp2Error::Submission(_) | Sp2Error::Protocol(_) => None,
         }
     }
 }

@@ -17,15 +17,17 @@ pub fn artifacts_dir() -> PathBuf {
 }
 
 /// Serializes `data` to `<artifacts_dir>/<name>.json`, creating the
-/// directory as needed. Returns the written path.
+/// directory as needed. Returns the written path. The document streams
+/// through a buffered writer rather than rendering to a `String` first,
+/// so artifact size never doubles as resident text.
 pub fn write_json<T: ToJson + ?Sized>(name: &str, data: &T) -> std::io::Result<PathBuf> {
     let dir = artifacts_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let mut f = fs::File::create(&path)?;
-    let body = data.to_json().to_string_pretty();
-    f.write_all(body.as_bytes())?;
+    let mut f = std::io::BufWriter::new(fs::File::create(&path)?);
+    data.to_json().write_to(&mut f)?;
     f.write_all(b"\n")?;
+    f.flush()?;
     Ok(path)
 }
 

@@ -7,7 +7,8 @@
 //! printer. Object keys keep insertion order, which makes artifacts
 //! diff-stable across runs.
 
-use std::fmt::Write as _;
+use std::fmt;
+use std::io;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,8 +77,43 @@ impl Json {
     /// Renders with two-space indentation, `"key": value` spacing.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, 0);
+        // Writing to a String cannot fail.
+        let _ = self.render_pretty(&mut out, 0);
         out
+    }
+
+    /// Renders on one line with no whitespace — the NDJSON form. The
+    /// same value model and number/string formatting as
+    /// [`Json::to_string_pretty`], so a document round-trips identically
+    /// through either rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        let _ = self.render_compact(&mut out);
+        out
+    }
+
+    /// Streams the pretty rendering straight into an [`io::Write`]
+    /// without materializing the document text. Year-scale artifacts
+    /// (timelines, metrics dumps, campaign stores) go through this path
+    /// so output size never shows up as a resident `String`.
+    pub fn write_to<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut sink = IoFmt {
+            inner: out,
+            err: None,
+        };
+        let res = self.render_pretty(&mut sink, 0);
+        sink.finish(res)
+    }
+
+    /// Streams the compact (single-line) rendering into an
+    /// [`io::Write`]; the building block for NDJSON streams.
+    pub fn write_compact_to<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut sink = IoFmt {
+            inner: out,
+            err: None,
+        };
+        let res = self.render_compact(&mut sink);
+        sink.finish(res)
     }
 
     /// Parses JSON text back into the document model — the inverse of
@@ -122,89 +158,192 @@ impl Json {
         }
     }
 
-    fn write(&self, out: &mut String, indent: usize) {
+    fn render_pretty<W: fmt::Write>(&self, out: &mut W, indent: usize) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => write!(out, "{b}"),
             Json::Num(v) => write_num(out, *v),
             Json::Str(s) => write_str(out, s),
             Json::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
+                    out.write_char('\n')?;
+                    push_indent(out, indent + 1)?;
+                    item.render_pretty(out, indent + 1)?;
                 }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
+                out.write_char('\n')?;
+                push_indent(out, indent)?;
+                out.write_char(']')
             }
             Json::Obj(fields) => {
                 if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (key, value)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_str(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
+                    out.write_char('\n')?;
+                    push_indent(out, indent + 1)?;
+                    write_str(out, key)?;
+                    out.write_str(": ")?;
+                    value.render_pretty(out, indent + 1)?;
                 }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
+                out.write_char('\n')?;
+                push_indent(out, indent)?;
+                out.write_char('}')
+            }
+        }
+    }
+
+    fn render_compact<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        match self {
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => write!(out, "{b}"),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    item.render_compact(out)?;
+                }
+                out.write_char(']')
+            }
+            Json::Obj(fields) => {
+                out.write_char('{')?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write_str(out, key)?;
+                    out.write_char(':')?;
+                    value.render_compact(out)?;
+                }
+                out.write_char('}')
             }
         }
     }
 }
 
-fn push_indent(out: &mut String, levels: usize) {
-    for _ in 0..levels {
-        out.push_str("  ");
+/// Bridges an [`io::Write`] into the `fmt::Write`-generic renderers,
+/// remembering the first underlying I/O error (the `fmt::Error` it
+/// surfaces as carries no detail).
+struct IoFmt<'a, W: io::Write> {
+    inner: &'a mut W,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> IoFmt<'_, W> {
+    fn finish(self, res: fmt::Result) -> io::Result<()> {
+        match (res, self.err) {
+            (_, Some(e)) => Err(e),
+            (Ok(()), None) => Ok(()),
+            // A fmt::Error with no captured io::Error can only come from
+            // a formatting primitive itself, which never fails here.
+            (Err(_), None) => Err(io::Error::other("formatting failed")),
+        }
     }
 }
 
-fn write_num(out: &mut String, v: f64) {
+impl<W: io::Write> fmt::Write for IoFmt<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            if self.err.is_none() {
+                self.err = Some(e);
+            }
+            fmt::Error
+        })
+    }
+}
+
+/// Line-delimited JSON writer: each document renders compact on its own
+/// line, flushed eagerly so a consumer tailing the stream (the serve
+/// protocol, `tail -f` on an artifact) sees every line as soon as it is
+/// complete.
+pub struct NdjsonWriter<W: io::Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: io::Write> NdjsonWriter<W> {
+    pub fn new(out: W) -> Self {
+        NdjsonWriter { out, lines: 0 }
+    }
+
+    /// Writes one document as a single line and flushes.
+    pub fn write_doc(&mut self, doc: &Json) -> io::Result<()> {
+        doc.write_compact_to(&mut self.out)?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Writes one pre-rendered line verbatim (it must already be a
+    /// complete compact JSON document, no trailing newline). Replaying
+    /// a stored stream uses this so the replayed bytes are exactly the
+    /// stored bytes.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn push_indent<W: fmt::Write>(out: &mut W, levels: usize) -> fmt::Result {
+    for _ in 0..levels {
+        out.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_num<W: fmt::Write>(out: &mut W, v: f64) -> fmt::Result {
     if !v.is_finite() {
         // JSON has no NaN/Inf; null is the conventional stand-in.
-        out.push_str("null");
+        out.write_str("null")
     } else if v == v.trunc() && v.abs() < 1e15 {
-        let _ = write!(out, "{}", v as i64);
+        write!(out, "{}", v as i64)
     } else {
-        let _ = write!(out, "{v}");
+        write!(out, "{v}")
     }
 }
 
-fn write_str(out: &mut String, s: &str) {
-    out.push('"');
+fn write_str<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 /// Error from [`Json::parse`]: what went wrong and where.
@@ -491,20 +630,20 @@ mod tests {
     #[test]
     fn integers_render_without_fraction() {
         let mut s = String::new();
-        write_num(&mut s, 42.0);
+        write_num(&mut s, 42.0).unwrap();
         assert_eq!(s, "42");
         s.clear();
-        write_num(&mut s, 0.25);
+        write_num(&mut s, 0.25).unwrap();
         assert_eq!(s, "0.25");
         s.clear();
-        write_num(&mut s, f64::NAN);
+        write_num(&mut s, f64::NAN).unwrap();
         assert_eq!(s, "null");
     }
 
     #[test]
     fn strings_escape_specials() {
         let mut s = String::new();
-        write_str(&mut s, "a\"b\\c\nd");
+        write_str(&mut s, "a\"b\\c\nd").unwrap();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
     }
 
@@ -543,7 +682,7 @@ mod tests {
     fn non_finite_renders_null_and_round_trips() {
         for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let mut s = String::new();
-            write_num(&mut s, v);
+            write_num(&mut s, v).unwrap();
             assert_eq!(s, "null", "non-finite {v} must render as null");
         }
         let doc = Json::obj().field("bad", f64::NAN);
@@ -554,7 +693,7 @@ mod tests {
     #[test]
     fn negative_zero_renders_unsigned_and_round_trips() {
         let mut s = String::new();
-        write_num(&mut s, -0.0);
+        write_num(&mut s, -0.0).unwrap();
         assert_eq!(s, "0", "-0.0 must render without a sign");
         let doc = Json::obj().field("z", -0.0f64);
         let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
@@ -590,6 +729,66 @@ mod tests {
             nan.bits_eq(&nan.clone()),
             "bits_eq treats same NaN as equal"
         );
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_rendering() {
+        let doc = Json::obj()
+            .field("label", "quote \" line\nend")
+            .field("series", vec![1.5f64, 2.0, 0.25])
+            .field("nested", Json::obj().field("k", 7u32))
+            .field("empty", Json::Arr(vec![]));
+        let mut pretty = Vec::new();
+        doc.write_to(&mut pretty).unwrap();
+        assert_eq!(pretty, doc.to_string_pretty().into_bytes());
+        let mut compact = Vec::new();
+        doc.write_compact_to(&mut compact).unwrap();
+        assert_eq!(compact, doc.to_string_compact().into_bytes());
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let doc = Json::obj()
+            .field("a", vec![1u32, 2, 3])
+            .field("b", Json::obj().field("x", 0.5f64))
+            .field("s", "multi\nline");
+        let line = doc.to_string_compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(!line.contains(": "), "compact has no key spacing: {line}");
+        let parsed = Json::parse(&line).unwrap();
+        assert!(parsed.bits_eq(&doc));
+    }
+
+    #[test]
+    fn write_to_propagates_io_errors() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let doc = Json::obj().field("k", 1u32);
+        let err = doc.write_to(&mut Failing).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn ndjson_writer_emits_one_line_per_doc() {
+        let mut w = NdjsonWriter::new(Vec::new());
+        w.write_doc(&Json::obj().field("seq", 0u32)).unwrap();
+        w.write_doc(&Json::obj().field("seq", 1u32)).unwrap();
+        w.write_line(r#"{"seq":2}"#).unwrap();
+        assert_eq!(w.lines(), 3);
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, [r#"{"seq":0}"#, r#"{"seq":1}"#, r#"{"seq":2}"#]);
+        assert!(text.ends_with('\n'));
+        for line in lines {
+            Json::parse(line).unwrap();
+        }
     }
 
     #[test]

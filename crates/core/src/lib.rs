@@ -51,6 +51,8 @@ pub mod json;
 pub mod metrics;
 pub mod plot;
 pub mod render;
+pub mod serve;
+pub mod submission;
 pub mod system;
 pub mod timeline;
 
@@ -59,7 +61,8 @@ pub use experiments::{
     all_experiments, experiment, experiment_or_err, DataQuality, Dataset, Experiment,
     ExperimentInput, SelectionKind,
 };
-pub use json::{Json, ToJson};
+pub use json::{Json, NdjsonWriter, ToJson};
 pub use sp2_cluster::{CampaignResult, ClusterConfig, FaultPlan, FaultSummary};
 pub use sp2_workload::{CampaignSpec, JobMix, WorkloadLibrary};
+pub use submission::{Submission, SubmissionBuilder};
 pub use system::{Sp2System, Sp2SystemBuilder};

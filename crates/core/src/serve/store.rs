@@ -1,0 +1,232 @@
+//! The persistent result store behind `sp2 serve`.
+//!
+//! One directory per completed job, named by the submission's 32-hex
+//! content digest:
+//!
+//! ```text
+//! <root>/<digest-hex>/
+//!     submission.json     the sp2-submission/v1 document (pretty)
+//!     datasets.ndjson     the streamed dataset event lines, verbatim
+//!     job.json            terminal record: state + dataset count
+//! ```
+//!
+//! Only **completed** jobs are ever persisted, and persistence is
+//! atomic: everything is staged into `<digest>.partial-<pid>/` and
+//! renamed into place in one step. A cancelled or crashed job therefore
+//! leaves nothing visible, and a directory that *is* visible is always
+//! servable. `datasets.ndjson` holds the exact bytes that were streamed
+//! to subscribers, so a digest-hit replay is bit-identical to the
+//! original stream by construction — the file is the stream.
+
+use crate::error::Sp2Error;
+use crate::json::{Json, NdjsonWriter};
+use crate::submission::Submission;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A job record loaded back from disk.
+#[derive(Debug, Clone)]
+pub struct StoredJob {
+    /// The submission, revalidated from `submission.json`.
+    pub submission: Submission,
+    /// The dataset event lines, in stream order, without newlines.
+    pub lines: Vec<String>,
+}
+
+/// Handle on the store root directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, Sp2Error> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn job_dir(&self, digest_hex: &str) -> PathBuf {
+        self.root.join(digest_hex)
+    }
+
+    /// Whether a completed result for this digest is on disk.
+    pub fn contains(&self, digest_hex: &str) -> bool {
+        self.job_dir(digest_hex).join("job.json").is_file()
+    }
+
+    /// Atomically persists a completed job: stage into a `.partial`
+    /// sibling, fsync the data file, then rename into place. If another
+    /// process raced us to the same digest the results are bit-identical
+    /// by the determinism rule, so either rename winning is correct.
+    pub fn persist(&self, submission: &Submission, lines: &[String]) -> Result<(), Sp2Error> {
+        let digest = submission.digest_hex();
+        let staged = self
+            .root
+            .join(format!("{digest}.partial-{}", std::process::id()));
+        // A leftover from a previous crash of this same pid is stale.
+        let _ = fs::remove_dir_all(&staged);
+        fs::create_dir_all(&staged)?;
+
+        let mut f = fs::File::create(staged.join("submission.json"))?;
+        submission.to_json().write_to(&mut f)?;
+        f.write_all(b"\n")?;
+
+        let mut data = NdjsonWriter::new(std::io::BufWriter::new(fs::File::create(
+            staged.join("datasets.ndjson"),
+        )?));
+        for line in lines {
+            data.write_line(line)?;
+        }
+        data.into_inner().into_inner().map_err(|e| {
+            Sp2Error::Io(std::io::Error::other(format!(
+                "flushing datasets.ndjson: {e}"
+            )))
+        })?;
+
+        let record = Json::obj()
+            .field("schema", crate::serve::SCHEMA)
+            .field("job", digest.as_str())
+            .field("state", "done")
+            .field("datasets", lines.len());
+        let mut f = fs::File::create(staged.join("job.json"))?;
+        record.write_to(&mut f)?;
+        f.write_all(b"\n")?;
+
+        let finished = self.job_dir(&digest);
+        match fs::rename(&staged, &finished) {
+            Ok(()) => Ok(()),
+            // Lost a cross-process race: the other writer's (identical)
+            // result is already in place; ours is redundant.
+            Err(_) if finished.join("job.json").is_file() => {
+                let _ = fs::remove_dir_all(&staged);
+                Ok(())
+            }
+            Err(e) => Err(Sp2Error::Io(e)),
+        }
+    }
+
+    /// Loads a completed job back, verifying that the stored submission
+    /// still hashes to the directory it lives in (a defense against a
+    /// hand-edited store serving wrong bytes) and that the line count
+    /// matches the terminal record.
+    pub fn load(&self, digest_hex: &str) -> Result<StoredJob, Sp2Error> {
+        let dir = self.job_dir(digest_hex);
+        let sub_doc = Json::parse(&fs::read_to_string(dir.join("submission.json"))?)
+            .map_err(|e| Sp2Error::Protocol(format!("stored submission.json: {e}")))?;
+        let submission = Submission::from_json(&sub_doc)?;
+        if submission.digest_hex() != digest_hex {
+            return Err(Sp2Error::Protocol(format!(
+                "store entry {digest_hex} holds a submission with digest {}",
+                submission.digest_hex()
+            )));
+        }
+        let lines: Vec<String> = fs::read_to_string(dir.join("datasets.ndjson"))?
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let record = Json::parse(&fs::read_to_string(dir.join("job.json"))?)
+            .map_err(|e| Sp2Error::Protocol(format!("stored job.json: {e}")))?;
+        let datasets = record
+            .get("datasets")
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0);
+        if datasets != lines.len() as f64 {
+            return Err(Sp2Error::Protocol(format!(
+                "store entry {digest_hex}: job.json records {datasets} datasets, \
+                 datasets.ndjson holds {}",
+                lines.len()
+            )));
+        }
+        Ok(StoredJob { submission, lines })
+    }
+
+    /// Scans the root for servable entries (completed `job.json`
+    /// present, digest-shaped directory name), skipping `.partial`
+    /// leftovers and anything malformed. Returns digests in sorted
+    /// order so `list` output is stable.
+    pub fn scan(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut digests: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|name| name.len() == 32 && name.bytes().all(|b| b.is_ascii_hexdigit()))
+            .filter(|name| self.contains(name))
+            .collect();
+        digests.sort_unstable();
+        digests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("sp2-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).expect("store opens")
+    }
+
+    fn demo_submission() -> Submission {
+        Submission::builder()
+            .days(1)
+            .experiment("table1")
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn persist_then_load_round_trips_bytes() {
+        let store = temp_store("roundtrip");
+        let sub = demo_submission();
+        let lines = vec![
+            r#"{"event":"dataset","seq":0,"doc":{"x":1}}"#.to_string(),
+            r#"{"event":"dataset","seq":1,"doc":{"x":2}}"#.to_string(),
+        ];
+        store.persist(&sub, &lines).expect("persists");
+        let digest = sub.digest_hex();
+        assert!(store.contains(&digest));
+        let loaded = store.load(&digest).expect("loads");
+        assert_eq!(loaded.lines, lines, "replayed bytes are the stored bytes");
+        assert_eq!(loaded.submission.digest_hex(), digest);
+        assert_eq!(store.scan(), vec![digest]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn partial_staging_is_never_visible() {
+        let store = temp_store("partial");
+        // Simulate a crashed writer: a .partial directory with content.
+        let staged = store.root().join("deadbeef.partial-1");
+        fs::create_dir_all(&staged).expect("mkdir");
+        fs::write(staged.join("datasets.ndjson"), "{}\n").expect("write");
+        assert!(store.scan().is_empty(), "partials are not servable");
+        assert!(!store.contains("deadbeef"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn load_rejects_mismatched_digest() {
+        let store = temp_store("mismatch");
+        let sub = demo_submission();
+        store.persist(&sub, &[]).expect("persists");
+        // Copy the entry under a wrong digest name.
+        let wrong = store.root().join("0".repeat(32));
+        fs::create_dir_all(&wrong).expect("mkdir");
+        for f in ["submission.json", "datasets.ndjson", "job.json"] {
+            fs::copy(store.root().join(sub.digest_hex()).join(f), wrong.join(f)).expect("copy");
+        }
+        assert!(store.load(&"0".repeat(32)).is_err());
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

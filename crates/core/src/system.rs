@@ -3,18 +3,20 @@
 use crate::error::Sp2Error;
 use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
 use sp2_cluster::{
-    run_campaign_cfg, run_replications, CampaignResult, ClusterConfig, EngineConfig, FaultPlan,
+    run_campaign_cfg_cancellable, run_replications, CampaignResult, CancelToken, ClusterConfig,
+    EngineConfig, FaultPlan,
 };
 use sp2_power2::FastForward;
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default seed for the measured workload library (the campaign year).
-const DEFAULT_LIBRARY_SEED: u64 = 1998;
+pub const DEFAULT_LIBRARY_SEED: u64 = 1998;
 
 /// Default seed for the fault plan, deliberately distinct from the
 /// library and trace seeds so enabling faults perturbs nothing else.
-const DEFAULT_FAULT_SEED: u64 = 4_096;
+pub const DEFAULT_FAULT_SEED: u64 = 4_096;
 
 /// The assembled NAS SP2 measurement system.
 ///
@@ -35,6 +37,7 @@ pub struct Sp2System {
     threads: usize,
     fault_rate: f64,
     fault_seed: u64,
+    cancel: Option<Arc<CancelToken>>,
     campaigns: HashMap<(SelectionKind, bool), CampaignResult>,
 }
 
@@ -50,6 +53,7 @@ pub struct Sp2SystemBuilder {
     threads: usize,
     fault_rate: f64,
     fault_seed: u64,
+    cancel: Option<Arc<CancelToken>>,
 }
 
 impl Default for Sp2SystemBuilder {
@@ -64,6 +68,7 @@ impl Default for Sp2SystemBuilder {
             threads: 1,
             fault_rate: 0.0,
             fault_seed: DEFAULT_FAULT_SEED,
+            cancel: None,
         }
     }
 }
@@ -144,6 +149,16 @@ impl Sp2SystemBuilder {
         self
     }
 
+    /// Attaches a cooperative cancellation token: campaign runs poll it
+    /// at every event boundary and fail with
+    /// [`sp2_cluster::CampaignError::Cancelled`] once raised. The serve
+    /// scheduler uses this so a `cancel` request reclaims the pool
+    /// mid-campaign.
+    pub fn cancel_token(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Assembles the system, applying the engine configuration's
     /// switches (so kernel measurement during library construction
     /// already honors them) and building the workload library under its
@@ -166,6 +181,7 @@ impl Sp2SystemBuilder {
             threads: self.threads,
             fault_rate: self.fault_rate,
             fault_seed: self.fault_seed,
+            cancel: self.cancel,
             campaigns: HashMap::new(),
         }
     }
@@ -308,13 +324,14 @@ impl Sp2System {
             threads: Some(self.engine.threads.unwrap_or(self.threads)),
             ..self.engine
         };
-        let result = run_campaign_cfg(
+        let result = run_campaign_cfg_cancellable(
             &config,
             &self.library,
             &jobs,
             self.spec.days,
             &faults,
             &engine,
+            self.cancel.as_deref(),
         )?;
         self.campaigns.insert((kind, faulted), result);
         Ok(())

@@ -36,17 +36,32 @@ const SHARDS: usize = 16;
 
 /// 128-bit FNV-1a. Only [`Fnv128::finish128`] is used for keys; the
 /// `Hasher` impl exists so `Hash` types can feed it their encoding.
-struct Fnv128(u128);
+///
+/// Public because it doubles as the repo's canonical content-digest
+/// primitive: `sp2-core`'s `Submission` digests (the campaign-service
+/// result-store keys) hash their canonical field encoding through the
+/// same function, so a digest is stable across processes and platforms
+/// (unlike `DefaultHasher`, which is seeded per process).
+#[derive(Debug, Clone)]
+pub struct Fnv128(u128);
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
 
 impl Fnv128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
 
-    fn new() -> Self {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
         Fnv128(Self::OFFSET)
     }
 
-    fn finish128(&self) -> u128 {
+    /// The full 128-bit digest.
+    pub fn finish128(&self) -> u128 {
         self.0
     }
 }

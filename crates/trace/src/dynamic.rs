@@ -85,6 +85,50 @@ pub fn reset() {
     with_map(|m| m.clear());
 }
 
+/// A name-prefix recorder: every reading lands under `<prefix>.<name>`.
+///
+/// Long-running hosts (the campaign service above all) meter many
+/// logical units — jobs, connections — through the same dynamic map;
+/// a `Scope` pins the unit's prefix once so call sites stay as terse as
+/// the free functions and cannot misfile a reading under another unit.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    prefix: String,
+}
+
+impl Scope {
+    /// Creates a scope; readings land under `<prefix>.<name>`.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Scope {
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The scope's prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn key(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// Adds to `<prefix>.<name>` (see [`add`]).
+    pub fn add(&self, name: &str, n: u64) {
+        add(&self.key(name), n);
+    }
+
+    /// Sets the gauge `<prefix>.<name>` (see [`set`]).
+    pub fn set(&self, name: &str, v: f64) {
+        set(&self.key(name), v);
+    }
+
+    /// Accumulates span time under `<prefix>.<name>` (see [`record_ns`]).
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        record_ns(&self.key(name), ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +196,31 @@ mod tests {
         let names: Vec<&str> = first.entries().iter().map(|(n, _)| n.as_ref()).collect();
         assert_eq!(names, vec!["a.first", "m.middle", "q.span", "z.last"]);
 
+        reset();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn scope_prefixes_every_reading() {
+        let _g = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        reset();
+        let scope = Scope::new("serve.job.abc123");
+        scope.add("datasets", 2);
+        scope.set("progress", 0.5);
+        scope.record_ns("campaign", 1_000);
+        let mut snap = MetricsSnapshot::new();
+        collect(&mut snap);
+        assert_eq!(
+            snap.get("serve.job.abc123.datasets"),
+            Some(&MetricValue::Count(2))
+        );
+        assert_eq!(
+            snap.get("serve.job.abc123.progress"),
+            Some(&MetricValue::Value(0.5))
+        );
+        assert!(snap.get("serve.job.abc123.campaign").is_some());
+        assert_eq!(scope.prefix(), "serve.job.abc123");
         reset();
         crate::set_enabled(false);
     }

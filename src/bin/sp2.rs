@@ -21,11 +21,13 @@
 //!
 //! Exit codes are per error class so scripts can tell a typo from a
 //! failed engine run: 2 usage, 3 unknown experiment, 4 cluster
-//! configuration, 5 campaign spec, 6 campaign engine, 7 artifact i/o.
+//! configuration, 5 campaign spec or submission, 6 campaign engine,
+//! 7 artifact i/o, 8 service protocol.
 
 use sp2_repro::cluster::{EngineConfig, EngineKind};
 use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
-use sp2_repro::core::{export, metrics, timeline, Sp2Error, Sp2System};
+use sp2_repro::core::serve::{self, Client, ServeConfig, Server};
+use sp2_repro::core::{export, metrics, timeline, Json, Sp2Error, Sp2System, Submission};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -38,7 +40,10 @@ const USAGE: &str = "\
 sp2 — reproduce Bergeron (SC 1998) on the simulated NAS SP2
 
 USAGE:
-    sp2 <COMMAND> [--days N] [--threads N] [--faults RATE] [--fault-seed N] [--json]
+    sp2 [OPTIONS] <COMMAND> [ARGS] [OPTIONS]
+
+Global options may come before or after the command; they compose the
+same either way.
 
 COMMANDS:
     table1 | table2 | table3 | table4    regenerate a table
@@ -55,6 +60,16 @@ COMMANDS:
                                          then print per-phase sparkline
                                          histories (the simulator's Figure 1)
     list                                 list registered experiments
+    serve                                run the campaign service: accept
+                                         submissions over TCP, multiplex
+                                         campaigns, stream NDJSON results,
+                                         persist them in the result store
+    submit [EXPERIMENT]                  send a submission to a running
+                                         `sp2 serve` and stream its results
+                                         (or run it in-process with --local)
+    jobs [list|status|fetch|cancel] [JOB]
+                                         query or control a running daemon;
+                                         JOB is a unique digest prefix
 
 OPTIONS:
     --days N        campaign length in days (default 60; the paper used 270)
@@ -78,7 +93,10 @@ OPTIONS:
     --json          print the dataset (or profile metrics) as JSON
     --metrics [PATH] enable the trace layer for any command; after it
                     finishes, write the metrics JSON to PATH, or print the
-                    metrics table to stderr when PATH is omitted
+                    metrics table to stderr when PATH is omitted. Before
+                    the command token the PATH form must be attached
+                    (`--metrics=PATH`) so the command is never mistaken
+                    for a path
     --trace-out PATH enable the flight recorder (any command; implied by
                     `timeline`) and write the run's span events to PATH as
                     Chrome trace-event JSON (open in Perfetto or
@@ -86,13 +104,30 @@ OPTIONS:
     --cadence N     flight-recorder sampling cadence in daemon sweeps
                     (default 1 = every simulated 15-minute sweep)
 
+SERVICE OPTIONS (serve / submit / jobs):
+    --addr HOST:PORT  daemon address (default 127.0.0.1:7598; serve
+                    accepts port 0 for an ephemeral port)
+    --store DIR     result-store directory (serve; default target/sp2-store)
+    --campaigns N   concurrent campaign workers (serve; default 2)
+    --experiments A,B,C
+                    experiment ids for a submission (submit; a positional
+                    experiment id works for a single one)
+    --seed N        campaign seed for the submission (submit)
+    --no-wait       return the job header immediately instead of
+                    streaming results (submit)
+    --local         run the submission in-process, no daemon, printing
+                    the same dataset event lines the service would
+                    stream (submit)
+
 EXIT CODES:
     0 ok   2 usage   3 unknown experiment   4 cluster config
-    5 campaign spec   6 campaign engine   7 artifact i/o
+    5 campaign spec / submission   6 campaign engine   7 artifact i/o
+    8 service protocol
 ";
 
 /// Everything the front end can fail with: a usage problem (ours) or a
 /// facade error (classed by [`Sp2Error`]).
+#[derive(Debug)]
 enum CliError {
     Usage(String),
     Sp2(Sp2Error),
@@ -110,9 +145,10 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Sp2(Sp2Error::UnknownExperiment(_)) => 3,
             CliError::Sp2(Sp2Error::Config(_)) => 4,
-            CliError::Sp2(Sp2Error::Spec(_)) => 5,
+            CliError::Sp2(Sp2Error::Spec(_) | Sp2Error::Submission(_)) => 5,
             CliError::Sp2(Sp2Error::Campaign(_)) => 6,
             CliError::Sp2(Sp2Error::Io(_)) => 7,
+            CliError::Sp2(Sp2Error::Protocol(_)) => 8,
         })
     }
 
@@ -127,6 +163,7 @@ impl CliError {
 struct Args {
     command: String,
     arg: Option<String>,
+    arg2: Option<String>,
     days: u32,
     threads: usize,
     faults: f64,
@@ -141,6 +178,20 @@ struct Args {
     trace_out: Option<String>,
     /// Flight-recorder sampling cadence in daemon sweeps.
     cadence: u64,
+    /// Daemon address for `serve` / `submit` / `jobs`.
+    addr: String,
+    /// Result-store directory for `serve`.
+    store: String,
+    /// Concurrent campaign workers for `serve`.
+    campaigns: usize,
+    /// Comma-separated experiment ids for `submit`.
+    experiments: Option<String>,
+    /// Campaign seed for `submit` (None = the spec default).
+    seed: Option<u64>,
+    /// `submit --no-wait`: return the job header, don't stream.
+    no_wait: bool,
+    /// `submit --local`: run in-process instead of through a daemon.
+    local: bool,
 }
 
 fn available_parallelism() -> usize {
@@ -154,12 +205,17 @@ fn parse_args() -> Result<Args, String> {
 /// Parses an argument list (everything after the program name). Split
 /// from [`parse_args`] so the unit tests can feed token vectors without
 /// spawning a process.
+///
+/// The command is the **first non-option token** — global options
+/// compose identically before and after it (`sp2 --engine reference
+/// submit …` ≡ `sp2 submit --engine reference …`). Up to two further
+/// positional tokens ride along (`probe matmul`, `jobs status 3f2a`).
 fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut argv = argv.into_iter().peekable();
-    let command = argv.next().ok_or_else(|| USAGE.to_string())?;
     let mut args = Args {
-        command,
+        command: String::new(),
         arg: None,
+        arg2: None,
         days: 60,
         threads: 1,
         faults: 0.0,
@@ -170,6 +226,13 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         metrics: None,
         trace_out: None,
         cadence: 1,
+        addr: "127.0.0.1:7598".into(),
+        store: "target/sp2-store".into(),
+        campaigns: 2,
+        experiments: None,
+        seed: None,
+        no_wait: false,
+        local: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -220,8 +283,22 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             "--metrics" => {
                 // The optional PATH is whatever non-option token follows;
                 // a following option (e.g. `--metrics --json`) must never
-                // be swallowed as the path.
-                args.metrics = Some(argv.next_if(|v| !v.starts_with('-')));
+                // be swallowed as the path. Before the command token the
+                // bare form never consumes anything either — `sp2
+                // --metrics table2` must read table2 as the command, not
+                // as a path (use `--metrics=PATH` there).
+                args.metrics = Some(if args.command.is_empty() {
+                    None
+                } else {
+                    argv.next_if(|v| !v.starts_with('-'))
+                });
+            }
+            s if s.starts_with("--metrics=") => {
+                let path = &s["--metrics=".len()..];
+                if path.is_empty() {
+                    return Err("--metrics= needs a PATH after the equals sign".into());
+                }
+                args.metrics = Some(Some(path.to_string()));
             }
             "--trace-out" => {
                 let v = argv.next().ok_or("--trace-out needs a PATH")?;
@@ -237,11 +314,63 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
                     return Err("--cadence must be at least 1 sweep".into());
                 }
             }
-            other if args.arg.is_none() && !other.starts_with('-') => {
-                args.arg = Some(other.to_string());
+            "--addr" => {
+                let v = argv.next().ok_or("--addr needs a HOST:PORT value")?;
+                if v.starts_with('-') {
+                    return Err(format!("--addr needs a HOST:PORT value, got option {v}"));
+                }
+                args.addr = v;
+            }
+            "--store" => {
+                let v = argv.next().ok_or("--store needs a DIR value")?;
+                if v.starts_with('-') {
+                    return Err(format!("--store needs a DIR value, got option {v}"));
+                }
+                args.store = v;
+            }
+            "--campaigns" => {
+                let v = argv.next().ok_or("--campaigns needs a value")?;
+                args.campaigns = v
+                    .parse()
+                    .map_err(|_| format!("bad --campaigns value: {v}"))?;
+                if args.campaigns == 0 {
+                    return Err("--campaigns must be at least 1 worker".into());
+                }
+            }
+            "--experiments" => {
+                let v = argv.next().ok_or("--experiments needs a comma list")?;
+                if v.starts_with('-') {
+                    return Err(format!("--experiments needs a comma list, got option {v}"));
+                }
+                args.experiments = Some(v);
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad --seed value: {v}"))?);
+            }
+            "--no-wait" => args.no_wait = true,
+            "--local" => args.local = true,
+            "--help" | "-h" => {
+                if args.command.is_empty() {
+                    args.command = "help".into();
+                }
+            }
+            other if !other.starts_with('-') => {
+                if args.command.is_empty() {
+                    args.command = other.to_string();
+                } else if args.arg.is_none() {
+                    args.arg = Some(other.to_string());
+                } else if args.arg2.is_none() {
+                    args.arg2 = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument: {other}"));
+                }
             }
             other => return Err(format!("unknown option: {other}")),
         }
+    }
+    if args.command.is_empty() {
+        return Err(USAGE.to_string());
     }
     Ok(args)
 }
@@ -298,8 +427,8 @@ fn dump_metrics(dest: Option<&str>) -> Result<(), CliError> {
     let snap = metrics::snapshot();
     match dest {
         Some(path) => {
-            let body = metrics::to_json(&snap).to_string_pretty();
-            std::fs::write(path, body + "\n").map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+            write_json_file(path, &metrics::to_json(&snap))
+                .map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
             eprintln!("metrics written to {path}");
         }
         None => eprint!("{}", snap.render_text()),
@@ -307,13 +436,24 @@ fn dump_metrics(dest: Option<&str>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Streams a document to `path` (pretty, trailing newline) without
+/// rendering it to a `String` first — year-scale timelines and metrics
+/// dumps shouldn't double their size in resident text.
+fn write_json_file(path: &str, doc: &Json) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    doc.write_to(&mut f)?;
+    f.write_all(b"\n")?;
+    f.flush()
+}
+
 /// Writes the drained span events where `--trace-out` asked for them, as
 /// Chrome trace-event JSON.
 fn dump_trace(path: &str) -> Result<(), CliError> {
     let events = sp2_repro::trace::events::drain();
     let dropped = sp2_repro::trace::events::dropped();
-    let body = timeline::chrome_trace(&events, dropped).to_string_pretty();
-    std::fs::write(path, body + "\n").map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+    write_json_file(path, &timeline::chrome_trace(&events, dropped))
+        .map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
     eprintln!(
         "trace written to {path} ({} events, {dropped} dropped)",
         events.len()
@@ -381,6 +521,9 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("probe needs a kernel name".into()))?;
             return probe(k).map_err(CliError::Usage);
         }
+        "serve" => return cmd_serve(args, engine),
+        "submit" => return cmd_submit(args, engine),
+        "jobs" => return cmd_jobs(args),
         _ => {}
     }
 
@@ -451,6 +594,202 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
         print!("{}", dataset.rendered);
     }
     Ok(())
+}
+
+/// `sp2 serve`: run the campaign service in the foreground until a
+/// `shutdown` request (or a signal) takes it down.
+fn cmd_serve(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
+    let server = Server::bind(ServeConfig {
+        addr: args.addr.clone(),
+        store_dir: args.store.clone().into(),
+        campaigns: args.campaigns,
+        engine,
+    })?;
+    eprintln!(
+        "sp2 serve listening on {} ({} campaign worker(s), store {})",
+        server.local_addr()?,
+        args.campaigns,
+        args.store,
+    );
+    server.run()?;
+    eprintln!("sp2 serve stopped");
+    Ok(())
+}
+
+/// Pure translation from CLI flags to a canonical [`Submission`] — the
+/// one-shot path and the service path build the exact same value, so
+/// they get the exact same digest.
+fn submission_from_args(args: &Args) -> Result<Submission, CliError> {
+    let ids: Vec<String> = match (&args.experiments, &args.arg) {
+        (Some(list), _) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+        (None, Some(one)) => vec![one.clone()],
+        (None, None) => {
+            return Err(CliError::Usage(
+                "submit needs an experiment: `sp2 submit table2` or `--experiments a,b,c`".into(),
+            ))
+        }
+    };
+    let mut builder = Submission::builder()
+        .days(args.days)
+        .faults(args.faults)
+        .fault_seed(args.fault_seed)
+        .experiments(ids);
+    if let Some(seed) = args.seed {
+        builder = builder.seed(seed);
+    }
+    Ok(builder.build()?)
+}
+
+/// `sp2 submit`: build the submission, then either run it in-process
+/// (`--local`) or hand it to a daemon and print the streamed event
+/// lines verbatim. Dataset lines are byte-identical either way.
+fn cmd_submit(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
+    let submission = submission_from_args(args)?;
+    if args.local {
+        for line in serve::run_local(&submission, engine)? {
+            println!("{line}");
+        }
+        return Ok(());
+    }
+    let mut client = Client::connect(args.addr.as_str()).map_err(connect_err(&args.addr))?;
+    if args.no_wait {
+        let header = client.request(
+            &Json::obj()
+                .field("op", "submit")
+                .field("submission", submission.to_json())
+                .field("wait", false),
+        )?;
+        println!("{}", header.to_string_compact());
+        return Ok(());
+    }
+    let outcome = client.submit_and_wait(&submission)?;
+    eprintln!("{}", outcome.header.to_string_compact());
+    for line in &outcome.dataset_lines {
+        println!("{line}");
+    }
+    eprintln!("{}", outcome.terminal.to_string_compact());
+    if outcome.is_done() {
+        Ok(())
+    } else {
+        Err(CliError::Sp2(Sp2Error::Protocol(format!(
+            "job {} finished {}",
+            outcome
+                .header
+                .get("job")
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+            outcome.state(),
+        ))))
+    }
+}
+
+/// `sp2 jobs [list|status|fetch|cancel] [JOB]`: query or control a
+/// running daemon over the same protocol `submit` uses.
+fn cmd_jobs(args: &Args) -> Result<(), CliError> {
+    let action = args.arg.as_deref().unwrap_or("list");
+    let job_of = |args: &Args| -> Result<String, CliError> {
+        args.arg2.clone().ok_or_else(|| {
+            CliError::Usage(format!(
+                "jobs {action} needs a JOB (a unique digest prefix)"
+            ))
+        })
+    };
+    let mut client = Client::connect(args.addr.as_str()).map_err(connect_err(&args.addr))?;
+    match action {
+        "list" => {
+            let resp = client.request(&Json::obj().field("op", "list"))?;
+            let Some(Json::Arr(rows)) = resp.get("jobs") else {
+                return Err(CliError::Sp2(Sp2Error::Protocol(
+                    "list response carried no jobs array".into(),
+                )));
+            };
+            println!(
+                "{:<14} {:<10} {:>8}  EXPERIMENTS",
+                "JOB", "STATE", "DATASETS"
+            );
+            for row in rows {
+                let field = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+                let datasets = row
+                    .get("datasets")
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "?".to_string(), |n| format!("{n:.0}"));
+                let experiments = match row.get("experiments") {
+                    Some(Json::Arr(ids)) => ids
+                        .iter()
+                        .filter_map(Json::as_str)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    _ => String::new(),
+                };
+                println!(
+                    "{:<14} {:<10} {:>8}  {}",
+                    &field("job")[..field("job").len().min(12)],
+                    field("state"),
+                    datasets,
+                    experiments,
+                );
+            }
+            Ok(())
+        }
+        "status" => {
+            let resp = client.request(
+                &Json::obj()
+                    .field("op", "status")
+                    .field("job", job_of(args)?),
+            )?;
+            println!("{}", resp.to_string_compact());
+            Ok(())
+        }
+        "cancel" => {
+            let resp = client.request(
+                &Json::obj()
+                    .field("op", "cancel")
+                    .field("job", job_of(args)?),
+            )?;
+            println!("{}", resp.to_string_compact());
+            Ok(())
+        }
+        "fetch" => {
+            client.send(&Json::obj().field("op", "fetch").field("job", job_of(args)?))?;
+            let header = client.recv()?;
+            eprintln!("{}", header.to_string_compact());
+            loop {
+                let Some(line) = client.recv_line()? else {
+                    return Err(CliError::Sp2(Sp2Error::Protocol(
+                        "stream ended before a terminal event".into(),
+                    )));
+                };
+                let doc = Json::parse(&line)
+                    .map_err(|e| Sp2Error::Protocol(format!("bad event line: {e}")))?;
+                match doc.get("event").and_then(Json::as_str) {
+                    Some("done") | Some("error") => {
+                        eprintln!("{line}");
+                        return Ok(());
+                    }
+                    Some("dataset") => println!("{line}"),
+                    _ => {} // metrics/timeline side channel
+                }
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown jobs action: {other} (list|status|fetch|cancel)"
+        ))),
+    }
+}
+
+/// Decorates a connect failure with the address it was aimed at — "is
+/// the daemon running?" is the first question the bare io error buries.
+fn connect_err(addr: &str) -> impl Fn(Sp2Error) -> CliError + '_ {
+    move |e| {
+        CliError::Sp2(Sp2Error::Protocol(format!(
+            "connecting to sp2 serve at {addr}: {e} (is the daemon running?)"
+        )))
+    }
 }
 
 fn main() -> ExitCode {
@@ -572,5 +911,117 @@ mod tests {
         assert_eq!(args.arg.as_deref(), Some("matmul"));
         assert!(parse(&["table1", "--bogus"]).is_err());
         assert!(parse(&[]).is_err(), "no command prints usage");
+    }
+
+    #[test]
+    fn global_flags_compose_before_and_after_the_command() {
+        let before = parse(&[
+            "--engine",
+            "reference",
+            "-j",
+            "1",
+            "--days",
+            "30",
+            "--trace-out",
+            "t.json",
+            "submit",
+            "table2",
+        ])
+        .expect("parses");
+        let after = parse(&[
+            "submit",
+            "table2",
+            "--engine",
+            "reference",
+            "-j",
+            "1",
+            "--days",
+            "30",
+            "--trace-out",
+            "t.json",
+        ])
+        .expect("parses");
+        for args in [&before, &after] {
+            assert_eq!(args.command, "submit");
+            assert_eq!(args.arg.as_deref(), Some("table2"));
+            assert_eq!(args.engine, EngineKind::Reference);
+            assert_eq!(args.threads, 1);
+            assert_eq!(args.days, 30);
+            assert_eq!(args.trace_out.as_deref(), Some("t.json"));
+        }
+        // The derived engine configuration is identical too — the whole
+        // point of position-independent globals.
+        assert_eq!(engine_config(&before), engine_config(&after));
+    }
+
+    #[test]
+    fn metrics_before_the_command_never_swallows_it() {
+        // `sp2 --metrics table2` means "table2 with the metrics table to
+        // stderr", never "metrics to a file named table2".
+        let args = parse(&["--metrics", "table2"]).expect("parses");
+        assert_eq!(args.command, "table2");
+        assert_eq!(args.metrics, Some(None));
+        // The attached form carries a path anywhere.
+        let args = parse(&["--metrics=m.json", "table2"]).expect("parses");
+        assert_eq!(args.command, "table2");
+        assert_eq!(args.metrics, Some(Some("m.json".into())));
+        let args = parse(&["table2", "--metrics=m.json"]).expect("parses");
+        assert_eq!(args.metrics, Some(Some("m.json".into())));
+        assert!(parse(&["--metrics=", "table2"]).is_err());
+    }
+
+    #[test]
+    fn service_flags_parse() {
+        let args = parse(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            "/tmp/s",
+            "--campaigns",
+            "4",
+        ])
+        .expect("parses");
+        assert_eq!(args.addr, "127.0.0.1:0");
+        assert_eq!(args.store, "/tmp/s");
+        assert_eq!(args.campaigns, 4);
+        assert!(parse(&["serve", "--campaigns", "0"]).is_err());
+        assert!(parse(&["serve", "--addr"]).is_err());
+
+        let args = parse(&[
+            "submit",
+            "--experiments",
+            "table1,table2",
+            "--seed",
+            "7",
+            "--no-wait",
+        ])
+        .expect("parses");
+        assert_eq!(args.experiments.as_deref(), Some("table1,table2"));
+        assert_eq!(args.seed, Some(7));
+        assert!(args.no_wait);
+        assert!(!args.local);
+
+        let args = parse(&["jobs", "status", "3fa2"]).expect("parses");
+        assert_eq!(args.arg.as_deref(), Some("status"));
+        assert_eq!(args.arg2.as_deref(), Some("3fa2"));
+        assert!(
+            parse(&["jobs", "a", "b", "c"]).is_err(),
+            "three positionals"
+        );
+    }
+
+    #[test]
+    fn submission_translation_is_position_independent() {
+        // The same logical request builds the same submission — and
+        // therefore the same digest — however the flags are arranged.
+        let a = submission_from_args(&parse(&["submit", "table2", "--days", "30"]).unwrap())
+            .expect("builds");
+        let b = submission_from_args(
+            &parse(&["--days", "30", "submit", "--experiments", "table2"]).unwrap(),
+        )
+        .expect("builds");
+        assert_eq!(a.digest_hex(), b.digest_hex());
+        assert!(submission_from_args(&parse(&["submit"]).unwrap()).is_err());
     }
 }
