@@ -36,8 +36,9 @@ pub use faults::{FaultPlan, Outage};
 pub use paging::PagingModel;
 pub use result::{CampaignResult, FaultSummary};
 pub use sim::{
-    run_campaign, run_campaign_cfg, run_campaign_cfg_cancellable, run_campaign_with_threads,
-    run_replications, CampaignError, CancelToken, ClusterConfig, ClusterConfigBuilder,
-    ClusterConfigError,
+    run_campaign, run_campaign_cfg, run_campaign_cfg_cancellable, run_campaign_cfg_spill,
+    run_campaign_with_threads, run_replications, CampaignError, CancelToken, ClusterConfig,
+    ClusterConfigBuilder, ClusterConfigError,
 };
+pub use sp2_rs2hpm::SampleSink;
 pub use state::NodeState;

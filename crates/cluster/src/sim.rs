@@ -19,7 +19,7 @@ use sp2_hpm::{nas_selection, CounterSelection, CounterSnapshot};
 use sp2_pbs::{JobId, JobOutcome, JobRecord, JobSpec, Pbs, PbsError};
 use sp2_power2::handler::{daemon_sample_signature, page_fault_signature};
 use sp2_power2::{KernelSignature, MachineConfig};
-use sp2_rs2hpm::{CounterSource, Daemon, JobCounterReport, SAMPLE_INTERVAL_S};
+use sp2_rs2hpm::{CounterSource, Daemon, JobCounterReport, SampleSink, SAMPLE_INTERVAL_S};
 use sp2_switch::SwitchConfig;
 use sp2_workload::{CampaignSpec, JobMix, SubmittedJob, WorkloadLibrary};
 use std::cmp::Reverse;
@@ -29,6 +29,15 @@ use std::fmt;
 /// How many times a job may run before PBS gives up on it: the first
 /// attempt plus up to two requeues after node failures.
 const MAX_JOB_ATTEMPTS: u32 = 3;
+
+/// Longest steady-sweep run the fast-forward may gather when samples
+/// spill to a [`SampleSink`]: one day of 15-minute sweeps. Without a
+/// sink the run is unbounded (the samples are resident anyway); with
+/// one, the cap is what keeps an idle multi-month campaign from
+/// materializing its whole sample history between drains. Splitting a
+/// steady run never changes results — the first sweeps of the next run
+/// are stepped, and stepping is bit-identical to fast-forwarding.
+const SPILL_MAX_RUN: usize = 96;
 
 /// Machine-level configuration of the simulated SP2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -178,6 +187,9 @@ pub enum CampaignError {
     /// The campaign's [`CancelToken`] was raised mid-run. Partial state
     /// is discarded; the campaign produced no result.
     Cancelled,
+    /// The caller's [`SampleSink`] failed while samples were being
+    /// spilled out of core (e.g. the archive's disk filled up).
+    Spill(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -186,6 +198,7 @@ impl fmt::Display for CampaignError {
             CampaignError::ThreadPool(e) => write!(f, "building the worker pool failed: {e}"),
             CampaignError::Pbs(e) => write!(f, "batch system rejected a request: {e}"),
             CampaignError::Cancelled => write!(f, "campaign cancelled"),
+            CampaignError::Spill(e) => write!(f, "spilling samples failed: {e}"),
         }
     }
 }
@@ -432,6 +445,7 @@ pub fn run_campaign(
         faults,
         EngineKind::Reference,
         None,
+        None,
     )
 }
 
@@ -466,6 +480,29 @@ pub fn run_campaign_cfg_cancellable(
     engine: &EngineConfig,
     cancel: Option<&CancelToken>,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_cfg_spill(config, library, trace, days, faults, engine, cancel, None)
+}
+
+/// [`run_campaign_cfg_cancellable`] with an out-of-core sample path:
+/// when `spill` is given, every finalized [`SystemSample`] is drained
+/// into the sink as the campaign runs (the interval reference stays
+/// resident) and the returned [`CampaignResult::samples`] is empty —
+/// the sink holds the series. Year-scale campaigns thus aggregate in
+/// bounded memory; an [`crate::result::CampaignResult`]-sized history
+/// never exists. Sink failures abort the run with
+/// [`CampaignError::Spill`]. `None` behaves exactly like
+/// [`run_campaign_cfg_cancellable`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_cfg_spill(
+    config: &ClusterConfig,
+    library: &WorkloadLibrary,
+    trace: &[SubmittedJob],
+    days: u32,
+    faults: &FaultPlan,
+    engine: &EngineConfig,
+    cancel: Option<&CancelToken>,
+    spill: Option<&mut dyn SampleSink>,
+) -> Result<CampaignResult, CampaignError> {
     engine.apply();
     match engine.threads {
         Some(threads) => {
@@ -474,13 +511,32 @@ pub fn run_campaign_cfg_cancellable(
                 .build()
                 .map_err(|e| CampaignError::ThreadPool(e.to_string()))?;
             pool.install(|| {
-                run_campaign_inner(config, library, trace, days, faults, engine.engine, cancel)
+                run_campaign_inner(
+                    config,
+                    library,
+                    trace,
+                    days,
+                    faults,
+                    engine.engine,
+                    cancel,
+                    spill,
+                )
             })
         }
-        None => run_campaign_inner(config, library, trace, days, faults, engine.engine, cancel),
+        None => run_campaign_inner(
+            config,
+            library,
+            trace,
+            days,
+            faults,
+            engine.engine,
+            cancel,
+            spill,
+        ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_inner(
     config: &ClusterConfig,
     library: &WorkloadLibrary,
@@ -489,6 +545,7 @@ fn run_campaign_inner(
     faults: &FaultPlan,
     kind: EngineKind,
     cancel: Option<&CancelToken>,
+    mut spill: Option<&mut dyn SampleSink>,
 ) -> Result<CampaignResult, CampaignError> {
     let _campaign_span = crate::metrics::CAMPAIGN.span();
     let _campaign_ev = sp2_trace::events::span("campaign", "phase");
@@ -725,8 +782,16 @@ fn run_campaign_inner(
                 // the precondition for the cluster-interval
                 // fast-forward below.
                 let mut run: Vec<(u64, f64)> = vec![(k, t)];
+                let max_run = if spill.is_some() {
+                    SPILL_MAX_RUN
+                } else {
+                    usize::MAX
+                };
                 if steady_ff {
-                    while let Some(&Reverse(next)) = heap.peek() {
+                    while run.len() < max_run {
+                        let Some(&Reverse(next)) = heap.peek() else {
+                            break;
+                        };
                         let Ev::Sample(kk) = next.ev else { break };
                         let prev_k = run[run.len() - 1].0;
                         if kk != prev_k + 1
@@ -842,6 +907,16 @@ fn run_campaign_inner(
                     daemon.collect_batch(&mut sweep_batch, tt);
                     sp2_trace::recorder::on_sweep(kk, tt);
                     i += 1;
+                }
+                // Out-of-core path: everything before the newest sample
+                // is final (samples only ever append), so it can leave
+                // the process now. The newest one stays — it is the
+                // interval reference for the next sweep and the
+                // fast-forward's replay template.
+                if let Some(sink) = spill.as_mut() {
+                    daemon
+                        .drain_samples(&mut **sink, 1)
+                        .map_err(|e| CampaignError::Spill(e.to_string()))?;
                 }
             }
             Ev::NodeDown(node) => {
@@ -966,12 +1041,24 @@ fn run_campaign_inner(
     }
 
     crate::metrics::SIMULATED_S.add(horizon as u64);
+    let samples = match spill {
+        Some(sink) => {
+            // Flush the tail (including the resident interval
+            // reference); the sink holds the whole series, the result
+            // carries none of it.
+            daemon
+                .drain_samples(sink, 0)
+                .map_err(|e| CampaignError::Spill(e.to_string()))?;
+            Vec::new()
+        }
+        None => daemon.samples().to_vec(),
+    };
     Ok(CampaignResult {
         days,
         node_count: config.nodes,
         machine: config.machine,
         selection,
-        samples: daemon.samples().to_vec(),
+        samples,
         job_reports,
         pbs_records,
         faults: summary,
@@ -1037,6 +1124,7 @@ pub fn run_replications(
                 spec.days,
                 faults,
                 EngineKind::default(),
+                None,
                 None,
             )
         })
@@ -1215,6 +1303,50 @@ mod tests {
         assert_eq!(reference.job_reports, batch.job_reports);
         assert_eq!(reference.pbs_records, batch.pbs_records);
         assert_eq!(reference.faults, batch.faults);
+    }
+
+    #[test]
+    fn spilled_campaign_matches_resident_samples_bitwise() {
+        let config = ClusterConfig::builder()
+            .nodes(16)
+            .drain_threshold(8)
+            .build()
+            .expect("valid config");
+        let library = WorkloadLibrary::build(&config.machine, 42);
+        let spec = CampaignSpec {
+            days: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let jobs: Vec<_> = trace::generate(&spec, &JobMix::nas(), &library)
+            .into_iter()
+            .filter(|j| j.nodes as usize <= 16)
+            .collect();
+        let resident = run_campaign_cfg(
+            &config,
+            &library,
+            &jobs,
+            spec.days,
+            &FaultPlan::none(),
+            &EngineConfig::default(),
+        )
+        .expect("resident runs");
+        let mut spilled: Vec<sp2_rs2hpm::SystemSample> = Vec::new();
+        let r = run_campaign_cfg_spill(
+            &config,
+            &library,
+            &jobs,
+            spec.days,
+            &FaultPlan::none(),
+            &EngineConfig::default(),
+            None,
+            Some(&mut spilled),
+        )
+        .expect("spilling run succeeds");
+        assert!(r.samples.is_empty(), "the sink holds the series");
+        assert_eq!(spilled, resident.samples, "spill is bit-identical");
+        assert_eq!(r.job_reports, resident.job_reports);
+        assert_eq!(r.pbs_records, resident.pbs_records);
     }
 
     #[test]

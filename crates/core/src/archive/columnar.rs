@@ -1,0 +1,480 @@
+//! Column-oriented encodings for the three campaign record kinds:
+//! interval [`SystemSample`]s, per-job [`JobCounterReport`]s, and PBS
+//! [`JobRecord`]s.
+//!
+//! Layout per block: a varint record count, then one column at a time.
+//! Counter lanes (`u64`) are stored as wrapping first-differences,
+//! zigzag-mapped, LEB128-varint coded — deltas of a monotone-ish lane
+//! are small, so a 900-second sweep costs a few bytes per slot instead
+//! of eight. Every `f64` column is stored as raw little-endian
+//! `to_bits()` words: rates are derived, irregular quantities where
+//! delta tricks buy little, and bit-pattern fidelity is the contract.
+
+use sp2_hpm::CounterDelta;
+use sp2_pbs::{JobOutcome, JobRecord};
+use sp2_rs2hpm::{JobCounterReport, RateReport, SystemSample};
+
+use super::wire::{put_f64_bits, put_varint, unzigzag, zigzag, Cursor, WireError};
+
+/// Cap on any single record count, far above a decade-long campaign
+/// (a year of 15-minute sweeps is ~35k samples). Bounds the allocation
+/// a corrupt count field can provoke.
+pub const MAX_RECORDS: u64 = 1 << 28;
+
+/// The number of `f64` fields in a [`RateReport`].
+pub const RATE_FIELDS: usize = 22;
+
+/// The fields of a [`RateReport`] in declaration order. This order is
+/// part of the `sp2-archive/v1` format: new fields must append.
+pub fn rate_report_fields(r: &RateReport) -> [f64; RATE_FIELDS] {
+    [
+        r.seconds,
+        r.mips,
+        r.mops,
+        r.mflops,
+        r.mflops_add,
+        r.mflops_div,
+        r.mflops_mul,
+        r.mflops_fma,
+        r.mips_fpu,
+        r.mips_fpu0,
+        r.mips_fpu1,
+        r.mips_fxu,
+        r.mips_fxu0,
+        r.mips_fxu1,
+        r.mips_icu,
+        r.dcache_miss,
+        r.tlb_miss,
+        r.icache_miss,
+        r.dma_read,
+        r.dma_write,
+        r.system_user_fxu_ratio,
+        r.io_wait_cycles,
+    ]
+}
+
+/// Inverse of [`rate_report_fields`].
+pub fn rate_report_from_fields(f: &[f64; RATE_FIELDS]) -> RateReport {
+    RateReport {
+        seconds: f[0],
+        mips: f[1],
+        mops: f[2],
+        mflops: f[3],
+        mflops_add: f[4],
+        mflops_div: f[5],
+        mflops_mul: f[6],
+        mflops_fma: f[7],
+        mips_fpu: f[8],
+        mips_fpu0: f[9],
+        mips_fpu1: f[10],
+        mips_fxu: f[11],
+        mips_fxu0: f[12],
+        mips_fxu1: f[13],
+        mips_icu: f[14],
+        dcache_miss: f[15],
+        tlb_miss: f[16],
+        icache_miss: f[17],
+        dma_read: f[18],
+        dma_write: f[19],
+        system_user_fxu_ratio: f[20],
+        io_wait_cycles: f[21],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Column primitives
+// ---------------------------------------------------------------------
+
+/// Writes a `u64` column as wrapping delta + zigzag + varint. The
+/// wrapping-subtract / zigzag pair is a bijection on the full `u64`
+/// ring, so arbitrary values round-trip regardless of magnitude.
+fn put_u64_col(out: &mut Vec<u8>, values: impl Iterator<Item = u64>) {
+    let mut prev = 0u64;
+    for v in values {
+        put_varint(out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+}
+
+fn get_u64_col(cur: &mut Cursor<'_>, n: usize, what: &'static str) -> Result<Vec<u64>, WireError> {
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(unzigzag(cur.varint(what)?) as u64);
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+/// Writes an `f64` column as raw little-endian bit patterns.
+fn put_f64_col(out: &mut Vec<u8>, values: impl Iterator<Item = f64>) {
+    for v in values {
+        put_f64_bits(out, v);
+    }
+}
+
+fn get_f64_col(cur: &mut Cursor<'_>, n: usize, what: &'static str) -> Result<Vec<f64>, WireError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.f64_bits(what)?);
+    }
+    Ok(out)
+}
+
+fn get_count(cur: &mut Cursor<'_>, what: &'static str) -> Result<usize, WireError> {
+    let n = cur.varint(what)?;
+    if n > MAX_RECORDS {
+        return Err(WireError::Oversize { what, got: n });
+    }
+    Ok(n as usize)
+}
+
+fn get_rate_cols(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<[f64; RATE_FIELDS]>, WireError> {
+    let mut rates = vec![[0f64; RATE_FIELDS]; n];
+    for field in 0..RATE_FIELDS {
+        let col = get_f64_col(cur, n, "rate column")?;
+        for (row, v) in rates.iter_mut().zip(col) {
+            row[field] = v;
+        }
+    }
+    Ok(rates)
+}
+
+fn get_lanes(
+    cur: &mut Cursor<'_>,
+    n: usize,
+    slots: usize,
+    what: &'static str,
+) -> Result<Vec<Vec<u64>>, WireError> {
+    // Decodes `slots` per-slot columns back into per-record lane vectors.
+    let mut lanes = vec![Vec::with_capacity(slots); n];
+    for _ in 0..slots {
+        let col = get_u64_col(cur, n, what)?;
+        for (rec, v) in lanes.iter_mut().zip(col) {
+            rec.push(v);
+        }
+    }
+    Ok(lanes)
+}
+
+/// A record's counter lanes did not match the header's slot count.
+fn check_lanes(d: &CounterDelta, slots: usize) -> Result<(), WireError> {
+    if d.user.len() != slots || d.system.len() != slots {
+        return Err(WireError::Oversize {
+            what: "record lane count (does not match header slots)",
+            got: d.user.len().max(d.system.len()) as u64,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// SystemSample
+// ---------------------------------------------------------------------
+
+/// Encodes interval samples as one columnar block payload.
+pub fn encode_samples(slots: usize, samples: &[SystemSample]) -> Result<Vec<u8>, WireError> {
+    let n = samples.len();
+    let mut out = Vec::with_capacity(32 + n * (8 + 4 * slots + 8 * RATE_FIELDS));
+    put_varint(&mut out, n as u64);
+    put_f64_col(&mut out, samples.iter().map(|s| s.t));
+    put_u64_col(&mut out, samples.iter().map(|s| s.nodes_sampled as u64));
+    put_u64_col(&mut out, samples.iter().map(|s| s.nodes_total as u64));
+    put_u64_col(&mut out, samples.iter().map(|s| s.anomalies as u64));
+    for s in samples {
+        check_lanes(&s.total, slots)?;
+    }
+    for slot in 0..slots {
+        put_u64_col(&mut out, samples.iter().map(|s| s.total.user[slot]));
+    }
+    for slot in 0..slots {
+        put_u64_col(&mut out, samples.iter().map(|s| s.total.system[slot]));
+    }
+    for field in 0..RATE_FIELDS {
+        put_f64_col(
+            &mut out,
+            samples.iter().map(|s| rate_report_fields(&s.rates)[field]),
+        );
+    }
+    Ok(out)
+}
+
+/// Decodes one samples block payload.
+pub fn decode_samples(slots: usize, payload: &[u8]) -> Result<Vec<SystemSample>, WireError> {
+    let mut cur = Cursor::new(payload);
+    let n = get_count(&mut cur, "sample count")?;
+    let t = get_f64_col(&mut cur, n, "sample t")?;
+    let nodes_sampled = get_u64_col(&mut cur, n, "nodes_sampled")?;
+    let nodes_total = get_u64_col(&mut cur, n, "nodes_total")?;
+    let anomalies = get_u64_col(&mut cur, n, "anomalies")?;
+    let user = get_lanes(&mut cur, n, slots, "sample user lane")?;
+    let system = get_lanes(&mut cur, n, slots, "sample system lane")?;
+    let rates = get_rate_cols(&mut cur, n)?;
+    if !cur.is_empty() {
+        return Err(WireError::Oversize {
+            what: "trailing bytes after samples block",
+            got: cur.remaining() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(SystemSample {
+            t: t[i],
+            nodes_sampled: nodes_sampled[i] as usize,
+            nodes_total: nodes_total[i] as usize,
+            anomalies: anomalies[i] as usize,
+            total: CounterDelta {
+                user: user[i].clone(),
+                system: system[i].clone(),
+            },
+            rates: rate_report_from_fields(&rates[i]),
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// JobCounterReport
+// ---------------------------------------------------------------------
+
+/// Encodes per-job counter reports as one columnar block payload.
+pub fn encode_reports(slots: usize, reports: &[JobCounterReport]) -> Result<Vec<u8>, WireError> {
+    let n = reports.len();
+    let mut out = Vec::with_capacity(32 + n * (24 + 4 * slots + 8 * RATE_FIELDS));
+    put_varint(&mut out, n as u64);
+    put_u64_col(&mut out, reports.iter().map(|r| r.job_id));
+    put_u64_col(&mut out, reports.iter().map(|r| u64::from(r.nodes)));
+    put_f64_col(&mut out, reports.iter().map(|r| r.start));
+    put_f64_col(&mut out, reports.iter().map(|r| r.end));
+    for r in reports {
+        check_lanes(&r.total, slots)?;
+    }
+    for slot in 0..slots {
+        put_u64_col(&mut out, reports.iter().map(|r| r.total.user[slot]));
+    }
+    for slot in 0..slots {
+        put_u64_col(&mut out, reports.iter().map(|r| r.total.system[slot]));
+    }
+    for field in 0..RATE_FIELDS {
+        put_f64_col(
+            &mut out,
+            reports.iter().map(|r| rate_report_fields(&r.rates)[field]),
+        );
+    }
+    Ok(out)
+}
+
+/// Decodes one job-reports block payload.
+pub fn decode_reports(slots: usize, payload: &[u8]) -> Result<Vec<JobCounterReport>, WireError> {
+    let mut cur = Cursor::new(payload);
+    let n = get_count(&mut cur, "report count")?;
+    let job_id = get_u64_col(&mut cur, n, "job_id")?;
+    let nodes = get_u64_col(&mut cur, n, "report nodes")?;
+    let start = get_f64_col(&mut cur, n, "report start")?;
+    let end = get_f64_col(&mut cur, n, "report end")?;
+    let user = get_lanes(&mut cur, n, slots, "report user lane")?;
+    let system = get_lanes(&mut cur, n, slots, "report system lane")?;
+    let rates = get_rate_cols(&mut cur, n)?;
+    if !cur.is_empty() {
+        return Err(WireError::Oversize {
+            what: "trailing bytes after reports block",
+            got: cur.remaining() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if nodes[i] > u64::from(u32::MAX) {
+            return Err(WireError::Oversize {
+                what: "report nodes",
+                got: nodes[i],
+            });
+        }
+        out.push(JobCounterReport {
+            job_id: job_id[i],
+            nodes: nodes[i] as u32,
+            start: start[i],
+            end: end[i],
+            total: CounterDelta {
+                user: user[i].clone(),
+                system: system[i].clone(),
+            },
+            rates: rate_report_from_fields(&rates[i]),
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// JobRecord (PBS accounting)
+// ---------------------------------------------------------------------
+
+fn outcome_code(o: JobOutcome) -> u8 {
+    match o {
+        JobOutcome::Completed => 0,
+        JobOutcome::NodeFailure { requeued: false } => 1,
+        JobOutcome::NodeFailure { requeued: true } => 2,
+        JobOutcome::Horizon => 3,
+    }
+}
+
+fn outcome_from_code(c: u8) -> Result<JobOutcome, WireError> {
+    match c {
+        0 => Ok(JobOutcome::Completed),
+        1 => Ok(JobOutcome::NodeFailure { requeued: false }),
+        2 => Ok(JobOutcome::NodeFailure { requeued: true }),
+        3 => Ok(JobOutcome::Horizon),
+        other => Err(WireError::Oversize {
+            what: "job outcome code",
+            got: u64::from(other),
+        }),
+    }
+}
+
+/// Encodes PBS accounting records as one columnar block payload.
+pub fn encode_pbs(records: &[JobRecord]) -> Vec<u8> {
+    let n = records.len();
+    let mut out = Vec::with_capacity(16 + n * 24);
+    put_varint(&mut out, n as u64);
+    put_u64_col(&mut out, records.iter().map(|r| r.id));
+    put_u64_col(&mut out, records.iter().map(|r| u64::from(r.nodes)));
+    put_f64_col(&mut out, records.iter().map(|r| r.start));
+    put_f64_col(&mut out, records.iter().map(|r| r.end));
+    out.extend(records.iter().map(|r| outcome_code(r.outcome)));
+    out
+}
+
+/// Decodes one PBS-records block payload.
+pub fn decode_pbs(payload: &[u8]) -> Result<Vec<JobRecord>, WireError> {
+    let mut cur = Cursor::new(payload);
+    let n = get_count(&mut cur, "pbs record count")?;
+    let id = get_u64_col(&mut cur, n, "pbs id")?;
+    let nodes = get_u64_col(&mut cur, n, "pbs nodes")?;
+    let start = get_f64_col(&mut cur, n, "pbs start")?;
+    let end = get_f64_col(&mut cur, n, "pbs end")?;
+    let codes = cur.take(n, "pbs outcomes")?;
+    if !cur.is_empty() {
+        return Err(WireError::Oversize {
+            what: "trailing bytes after pbs block",
+            got: cur.remaining() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if nodes[i] > u64::from(u32::MAX) {
+            return Err(WireError::Oversize {
+                what: "pbs nodes",
+                got: nodes[i],
+            });
+        }
+        out.push(JobRecord {
+            id: id[i],
+            nodes: nodes[i] as u32,
+            start: start[i],
+            end: end[i],
+            outcome: outcome_from_code(codes[i])?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2_rs2hpm::RateReport;
+
+    fn sample(slots: usize, i: u64) -> SystemSample {
+        SystemSample {
+            t: 900.0 * i as f64,
+            nodes_sampled: 143,
+            nodes_total: 144,
+            anomalies: (i % 3) as usize,
+            total: CounterDelta {
+                user: (0..slots as u64).map(|s| i * 1000 + s * 7).collect(),
+                system: (0..slots as u64).map(|s| i * 13 + s).collect(),
+            },
+            rates: RateReport {
+                seconds: 900.0,
+                mflops: 1.0 / 3.0 * i as f64,
+                ..RateReport::default()
+            },
+        }
+    }
+
+    #[test]
+    fn samples_round_trip_bitwise() {
+        let slots = 22;
+        let samples: Vec<_> = (0..17).map(|i| sample(slots, i)).collect();
+        let payload = encode_samples(slots, &samples).unwrap();
+        let back = decode_samples(slots, &payload).unwrap();
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert_eq!(a.t.to_bits(), b.t.to_bits());
+            assert_eq!(a.total, b.total);
+            let ra = rate_report_fields(&a.rates);
+            let rb = rate_report_fields(&b.rates);
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_blocks_round_trip() {
+        let payload = encode_samples(22, &[]).unwrap();
+        assert!(decode_samples(22, &payload).unwrap().is_empty());
+        let payload = encode_reports(22, &[]).unwrap();
+        assert!(decode_reports(22, &payload).unwrap().is_empty());
+        let payload = encode_pbs(&[]);
+        assert!(decode_pbs(&payload).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pbs_outcomes_round_trip() {
+        let records: Vec<JobRecord> = [
+            JobOutcome::Completed,
+            JobOutcome::NodeFailure { requeued: false },
+            JobOutcome::NodeFailure { requeued: true },
+            JobOutcome::Horizon,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &outcome)| JobRecord {
+            id: 100 + i as u64,
+            nodes: 16,
+            start: 10.5 * i as f64,
+            end: 10.5 * i as f64 + 3600.0,
+            outcome,
+        })
+        .collect();
+        let back = decode_pbs(&encode_pbs(&records)).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn bad_outcome_code_is_an_error() {
+        let records = vec![JobRecord {
+            id: 1,
+            nodes: 1,
+            start: 0.0,
+            end: 1.0,
+            outcome: JobOutcome::Completed,
+        }];
+        let mut payload = encode_pbs(&records);
+        let last = payload.len() - 1;
+        payload[last] = 9;
+        assert!(decode_pbs(&payload).is_err());
+    }
+
+    #[test]
+    fn lane_mismatch_is_an_error() {
+        let samples = vec![sample(4, 0)];
+        assert!(encode_samples(22, &samples).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let mut payload = encode_pbs(&[]);
+        payload.push(0);
+        assert!(decode_pbs(&payload).is_err());
+    }
+}

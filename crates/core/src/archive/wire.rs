@@ -1,0 +1,277 @@
+//! Byte-level primitives for the `sp2-archive/v1` container: CRC-32
+//! framing, LEB128 varints, zigzag mapping, and a bounds-checked read
+//! cursor. Everything here is deterministic and allocation-free; all
+//! decode paths return [`WireError`] instead of panicking so corrupt
+//! input can never take the process down.
+
+use std::fmt;
+
+/// Decode-side failure: the bytes do not parse as what the caller
+/// asked for. Carries enough context to say *where* the archive broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the field needs.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A varint ran past its 10-byte maximum without terminating.
+    VarintOverflow,
+    /// A stored CRC did not match the recomputed one.
+    Crc {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
+    /// A count or length field exceeds a sanity bound.
+    Oversize {
+        /// What was being decoded.
+        what: &'static str,
+        /// The implausible value.
+        got: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated while reading {what}"),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::Crc { stored, computed } => {
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            WireError::Oversize { what, got } => {
+                write!(f, "implausible {what}: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 of `bytes` (the common zlib/ethernet variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Varint / zigzag
+// ---------------------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked cursor
+// ---------------------------------------------------------------------
+
+/// A read cursor over a byte slice. Every accessor checks bounds and
+/// returns [`WireError::Truncated`] instead of slicing out of range.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, or errors with the field name.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32_le(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `f64` bit pattern, exactly as written.
+    pub fn f64_bits(&mut self, what: &'static str) -> Result<f64, WireError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    /// Reads an LEB128 varint.
+    pub fn varint(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in 0..10u32 {
+            let byte = self.u8(what)?;
+            let low = u64::from(byte & 0x7F);
+            // The 10th byte may only carry the final bit of a u64.
+            if shift == 9 && byte > 0x01 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= low << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+}
+
+/// Appends a little-endian `f64` bit pattern.
+pub fn put_f64_bits(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.varint("v").unwrap(), v);
+            assert!(cur.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes can never terminate inside a u64.
+        let buf = [0xFFu8; 11];
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.varint("v"), Err(WireError::VarintOverflow));
+        // A 10th byte with more than the final u64 bit set is invalid.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.varint("v"), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn cursor_reports_truncation() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        assert!(cur.u32_le("len").is_err());
+        assert_eq!(cur.u8("k").unwrap(), 1);
+        assert!(cur.take(3, "tail").is_err());
+        assert_eq!(cur.take(2, "tail").unwrap(), &[2, 3]);
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exact() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            66.7e6,
+            1.0 / 3.0,
+        ] {
+            let mut buf = Vec::new();
+            put_f64_bits(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.f64_bits("v").unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

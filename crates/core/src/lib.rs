@@ -44,6 +44,8 @@
     warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod archive;
+pub mod compare;
 pub mod error;
 pub mod experiments;
 pub mod export;
@@ -56,6 +58,8 @@ pub mod submission;
 pub mod system;
 pub mod timeline;
 
+pub use archive::{ArchiveCodec, ArchiveReader, ArchiveWriter, ColumnarCodec, TextCodec};
+pub use compare::{CompareOutcome, CompareReport, Tolerance};
 pub use error::Sp2Error;
 pub use experiments::{
     all_experiments, experiment, experiment_or_err, DataQuality, Dataset, Experiment,

@@ -73,11 +73,11 @@ use crate::json::Json;
 use crate::submission::Submission;
 use crate::system::{Sp2System, DEFAULT_LIBRARY_SEED};
 use crate::{metrics, timeline};
-use sp2_cluster::{CampaignError, CancelToken, ClusterConfig, EngineConfig};
+use sp2_cluster::{CampaignError, CampaignResult, CancelToken, ClusterConfig, EngineConfig};
 use sp2_power2::FastForward;
 use sp2_workload::WorkloadLibrary;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +87,31 @@ pub use store::{Store, StoredJob};
 
 /// Protocol schema tag.
 pub const SCHEMA: &str = "sp2-serve/v1";
+
+/// Longest request or response line either side will read, newline
+/// included (16 MiB — an order of magnitude above the largest dataset
+/// event a real campaign renders). A peer that streams bytes without
+/// ever sending `\n` would otherwise grow the line buffer without
+/// bound; past the cap the read fails as a protocol error instead.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// `read_line` with a ceiling: reads one `\n`-terminated line of at
+/// most `limit` bytes (newline included) into `line`. Returns the byte
+/// count (0 at EOF) or [`Sp2Error::Protocol`] once the line exceeds
+/// the cap — at which point the stream is no longer line-synced and
+/// the connection should be dropped.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    limit: usize,
+) -> Result<usize, Sp2Error> {
+    line.clear();
+    let n = reader.by_ref().take(limit as u64 + 1).read_line(line)?;
+    if n > limit {
+        return Err(Sp2Error::Protocol(format!("line exceeds {limit} bytes")));
+    }
+    Ok(n)
+}
 
 /// One workload library serves every job: submissions don't vary the
 /// machine model, and the library build (kernel measurement) is the
@@ -130,6 +155,25 @@ pub fn run_local(submission: &Submission, engine: EngineConfig) -> Result<Vec<St
         lines.push(dataset_line(&digest, seq, id, dataset.json));
     }
     Ok(lines)
+}
+
+/// [`run_local`], also returning the primary campaign the datasets were
+/// analyzed from — `sp2 archive` persists both in one container so a
+/// later `--archive` run can replay the analysis without simulating.
+pub fn run_local_archival(
+    submission: &Submission,
+    engine: EngineConfig,
+) -> Result<(Vec<String>, CampaignResult), Sp2Error> {
+    let digest = submission.digest_hex();
+    let mut sys = submission.system(engine);
+    let mut lines = Vec::with_capacity(submission.experiments().len());
+    for (seq, id) in submission.experiments().iter().enumerate() {
+        let exp = experiments::experiment_or_err(id)?;
+        let dataset = sys.dataset(exp)?;
+        lines.push(dataset_line(&digest, seq, id, dataset.json));
+    }
+    let campaign = sys.campaign()?.clone();
+    Ok((lines, campaign))
 }
 
 /// Daemon configuration.
@@ -552,14 +596,26 @@ fn handle_connection(inner: &ServerInner, stream: TcpStream, self_addr: std::net
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(reader_stream);
+    let mut reader = BufReader::new(reader_stream);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut line = String::new();
+    loop {
+        match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(Sp2Error::Protocol(msg)) => {
+                // Overlong line: answer once, then drop the connection —
+                // the stream is no longer line-synced.
+                let _ = write_error(&mut writer, "protocol", &msg);
+                break;
+            }
+            Err(_) => break, // client went away mid-line
+        }
+        let line = line.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
             continue;
         }
-        let outcome = match Json::parse(&line) {
+        let outcome = match Json::parse(line) {
             Ok(req) => handle_request(inner, &req, &mut writer, self_addr),
             Err(e) => write_error(
                 &mut writer,
@@ -877,7 +933,7 @@ impl Client {
     /// callers can diff or persist exactly what the server sent.
     pub fn recv_line(&mut self) -> Result<Option<String>, Sp2Error> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = read_line_capped(&mut self.reader, &mut line, MAX_LINE_BYTES)?;
         if n == 0 {
             return Ok(None);
         }
@@ -1079,6 +1135,56 @@ mod tests {
             .request(&Json::obj().field("op", "ping"))
             .expect("still alive");
         assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        server.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn read_line_capped_trips_exactly_past_the_limit() {
+        let mut r = std::io::Cursor::new(b"abcdefgh\nrest".to_vec());
+        let mut line = String::new();
+        let n = read_line_capped(&mut r, &mut line, 16).expect("short line fits");
+        assert_eq!(n, 9);
+        assert_eq!(line, "abcdefgh\n");
+        // A line of exactly the limit (newline included) still passes…
+        let mut r = std::io::Cursor::new(b"1234567\n".to_vec());
+        assert_eq!(read_line_capped(&mut r, &mut line, 8).expect("at limit"), 8);
+        // …one byte more does not, newline or no newline.
+        let mut r = std::io::Cursor::new(b"12345678\n".to_vec());
+        assert!(matches!(
+            read_line_capped(&mut r, &mut line, 8),
+            Err(Sp2Error::Protocol(_))
+        ));
+        let mut r = std::io::Cursor::new(vec![b'x'; 32]);
+        assert!(matches!(
+            read_line_capped(&mut r, &mut line, 16),
+            Err(Sp2Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_request_line_answers_protocol_error() {
+        let server = spawn_server("oversize");
+        let mut stream = TcpStream::connect(server.addr()).expect("connects");
+        // One byte past the cap, never a newline. Exactly limit+1 bytes,
+        // so the server consumes the whole blob before answering and the
+        // close is a clean FIN rather than a reset that could eat the
+        // error response.
+        let blob = vec![b'a'; MAX_LINE_BYTES + 1];
+        for chunk in blob.chunks(1 << 16) {
+            stream.write_all(chunk).expect("server keeps reading");
+        }
+        stream.flush().expect("flushes");
+        let mut response = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut response)
+            .expect("reads the error line");
+        let doc = Json::parse(&response).expect("error line parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("protocol"));
+        // The server hung up after answering: the stream is done.
+        let mut rest = String::new();
+        let n = BufReader::new(&stream).read_line(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection closes after the protocol error");
         server.shutdown().expect("clean shutdown");
     }
 

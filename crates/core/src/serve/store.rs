@@ -6,7 +6,7 @@
 //! ```text
 //! <root>/<digest-hex>/
 //!     submission.json     the sp2-submission/v1 document (pretty)
-//!     datasets.ndjson     the streamed dataset event lines, verbatim
+//!     datasets.sp2a       the streamed dataset event lines, columnar
 //!     job.json            terminal record: state + dataset count
 //! ```
 //!
@@ -14,16 +14,37 @@
 //! atomic: everything is staged into `<digest>.partial-<pid>/` and
 //! renamed into place in one step. A cancelled or crashed job therefore
 //! leaves nothing visible, and a directory that *is* visible is always
-//! servable. `datasets.ndjson` holds the exact bytes that were streamed
-//! to subscribers, so a digest-hit replay is bit-identical to the
-//! original stream by construction — the file is the stream.
+//! servable. A crashed *daemon*, though, can leave its staging
+//! directory behind — [`Store::open`] sweeps orphaned `.partial-<pid>`
+//! directories whose writer is provably gone. `datasets.sp2a` is an
+//! [`sp2-archive/v1`](crate::archive) container whose dataset blocks
+//! hold the exact bytes that were streamed to subscribers, so a
+//! digest-hit replay is bit-identical to the original stream by
+//! construction — the NDJSON synthesized on fetch is the stream.
 
+use crate::archive::{load_archive, ArchiveWriter};
 use crate::error::Sp2Error;
-use crate::json::{Json, NdjsonWriter};
+use crate::json::Json;
 use crate::submission::Submission;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Age past which an orphaned staging directory is reclaimed even when
+/// pid liveness cannot be determined (no `/proc`): one day, far beyond
+/// any real persist.
+const STALE_PARTIAL_AGE: Duration = Duration::from_secs(24 * 60 * 60);
+
+/// Whether `pid` names a live process, judged by `/proc/<pid>`.
+/// `None` when the platform has no `/proc` to consult.
+fn pid_alive(pid: u32) -> Option<bool> {
+    let proc_dir = Path::new("/proc");
+    if !proc_dir.is_dir() {
+        return None;
+    }
+    Some(proc_dir.join(pid.to_string()).exists())
+}
 
 /// A job record loaded back from disk.
 #[derive(Debug, Clone)]
@@ -41,11 +62,50 @@ pub struct Store {
 }
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, reclaiming
+    /// staging directories orphaned by crashed writers.
     pub fn open(root: impl Into<PathBuf>) -> Result<Store, Sp2Error> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Store { root })
+        let store = Store { root };
+        store.sweep_orphaned_partials();
+        Ok(store)
+    }
+
+    /// Removes `<digest>.partial-<pid>` leftovers whose writing process
+    /// is gone. Liveness comes from `/proc/<pid>` where available; on
+    /// platforms without `/proc` an age threshold stands in. Live
+    /// siblings (another daemon mid-persist on the same store) are left
+    /// alone. Best-effort: sweep failures never fail `open`.
+    fn sweep_orphaned_partials(&self) {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            let Some((_, pid)) = name.split_once(".partial-") else {
+                continue;
+            };
+            let Ok(pid) = pid.parse::<u32>() else {
+                continue;
+            };
+            if pid == std::process::id()
+                || pid_alive(pid).unwrap_or_else(|| {
+                    // No /proc: keep anything younger than the age cutoff.
+                    entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_none_or(|age| age < STALE_PARTIAL_AGE)
+                })
+            {
+                continue;
+            }
+            let _ = fs::remove_dir_all(entry.path());
+        }
     }
 
     /// The store root.
@@ -79,17 +139,19 @@ impl Store {
         submission.to_json().write_to(&mut f)?;
         f.write_all(b"\n")?;
 
-        let mut data = NdjsonWriter::new(std::io::BufWriter::new(fs::File::create(
-            staged.join("datasets.ndjson"),
-        )?));
+        let mut data = ArchiveWriter::create(
+            std::io::BufWriter::new(fs::File::create(staged.join("datasets.sp2a"))?),
+            None,
+        )?;
         for line in lines {
-            data.write_line(line)?;
+            data.push_dataset_line(line)?;
         }
-        data.into_inner().into_inner().map_err(|e| {
+        let mut out = data.finish()?.into_inner().map_err(|e| {
             Sp2Error::Io(std::io::Error::other(format!(
-                "flushing datasets.ndjson: {e}"
+                "flushing datasets.sp2a: {e}"
             )))
         })?;
+        out.flush()?;
 
         let record = Json::obj()
             .field("schema", crate::serve::SCHEMA)
@@ -128,10 +190,7 @@ impl Store {
                 submission.digest_hex()
             )));
         }
-        let lines: Vec<String> = fs::read_to_string(dir.join("datasets.ndjson"))?
-            .lines()
-            .map(str::to_string)
-            .collect();
+        let lines = load_archive(&dir.join("datasets.sp2a"))?.dataset_lines;
         let record = Json::parse(&fs::read_to_string(dir.join("job.json"))?)
             .map_err(|e| Sp2Error::Protocol(format!("stored job.json: {e}")))?;
         let datasets = record
@@ -141,7 +200,7 @@ impl Store {
         if datasets != lines.len() as f64 {
             return Err(Sp2Error::Protocol(format!(
                 "store entry {digest_hex}: job.json records {datasets} datasets, \
-                 datasets.ndjson holds {}",
+                 datasets.sp2a holds {}",
                 lines.len()
             )));
         }
@@ -209,10 +268,32 @@ mod tests {
         // Simulate a crashed writer: a .partial directory with content.
         let staged = store.root().join("deadbeef.partial-1");
         fs::create_dir_all(&staged).expect("mkdir");
-        fs::write(staged.join("datasets.ndjson"), "{}\n").expect("write");
+        fs::write(staged.join("datasets.sp2a"), "{}\n").expect("write");
         assert!(store.scan().is_empty(), "partials are not servable");
         assert!(!store.contains("deadbeef"));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_partials_but_keeps_live_writers() {
+        let dir = std::env::temp_dir().join(format!("sp2-store-test-sweep-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir root");
+        // An orphan from a pid that cannot be running (beyond pid_max)…
+        let orphan = dir.join("deadbeef.partial-999999999");
+        fs::create_dir_all(&orphan).expect("mkdir orphan");
+        fs::write(orphan.join("datasets.sp2a"), "junk").expect("write");
+        // …a sibling staged by *this* (live) process…
+        let live = dir.join(format!("cafebabe.partial-{}", std::process::id()));
+        fs::create_dir_all(&live).expect("mkdir live");
+        // …and an unrelated file the sweep must not touch.
+        fs::write(dir.join("notes.txt"), "keep me").expect("write");
+
+        let _store = Store::open(&dir).expect("store opens");
+        assert!(!orphan.exists(), "dead writer's staging dir is reclaimed");
+        assert!(live.exists(), "live writer's staging dir survives");
+        assert!(dir.join("notes.txt").exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -223,7 +304,7 @@ mod tests {
         // Copy the entry under a wrong digest name.
         let wrong = store.root().join("0".repeat(32));
         fs::create_dir_all(&wrong).expect("mkdir");
-        for f in ["submission.json", "datasets.ndjson", "job.json"] {
+        for f in ["submission.json", "datasets.sp2a", "job.json"] {
             fs::copy(store.root().join(sub.digest_hex()).join(f), wrong.join(f)).expect("copy");
         }
         assert!(store.load(&"0".repeat(32)).is_err());

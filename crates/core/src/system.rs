@@ -299,6 +299,15 @@ impl Sp2System {
         Ok(&self.campaigns[&(kind, false)])
     }
 
+    /// Seeds the campaign cache with an externally produced result — an
+    /// archived campaign loaded from disk, typically. Experiments asked
+    /// for `(kind, faulted)` will analyze `result` instead of running
+    /// the simulation; the caller vouches that it matches the system's
+    /// configuration (days, selection, fault knobs).
+    pub fn preload_campaign(&mut self, kind: SelectionKind, faulted: bool, result: CampaignResult) {
+        self.campaigns.insert((kind, faulted), result);
+    }
+
     fn ensure_campaign(
         &mut self,
         kind: SelectionKind,

@@ -24,6 +24,26 @@ pub const SAMPLE_INTERVAL_S: f64 = 900.0;
 /// sanity filter before archiving.
 pub const PLAUSIBLE_DELTA_MAX: u64 = 1 << 48;
 
+/// Where drained samples go when a campaign runs out-of-core.
+///
+/// The daemon normally accumulates every [`SystemSample`] in memory; a
+/// year-scale campaign instead registers a sink (an archive writer, a
+/// network stream) and periodically calls [`Daemon::drain_samples`],
+/// which hands finished samples over in collection order and frees
+/// them. Sinks see each sample exactly once.
+pub trait SampleSink {
+    /// Receives the next run of finished samples, in collection order.
+    fn append(&mut self, samples: &[SystemSample]) -> std::io::Result<()>;
+}
+
+/// A trivial sink: collects drained samples into a `Vec`.
+impl SampleSink for Vec<SystemSample> {
+    fn append(&mut self, samples: &[SystemSample]) -> std::io::Result<()> {
+        self.extend_from_slice(samples);
+        Ok(())
+    }
+}
+
 /// Where the daemon reads counters from (the cluster implements this).
 pub trait CounterSource {
     /// Number of nodes in the machine.
@@ -245,9 +265,34 @@ impl Daemon {
         }
     }
 
-    /// All samples collected so far.
+    /// All samples collected so far and not yet drained to a sink.
     pub fn samples(&self) -> &[SystemSample] {
         &self.samples
+    }
+
+    /// Hands all but the last `keep_last` resident samples to `sink`
+    /// (in collection order) and drops them from memory. Returns how
+    /// many were drained.
+    ///
+    /// Callers that keep collecting must pass `keep_last >= 1`: the
+    /// most recent sample is the interval reference for the next
+    /// [`Daemon::collect_batch`] and the template
+    /// [`Daemon::fast_forward_steady`] clones, so it has to stay
+    /// resident until the campaign ends. Samples already handed over
+    /// are never re-sent; if the sink fails, nothing is dropped and the
+    /// drain can be retried.
+    pub fn drain_samples(
+        &mut self,
+        sink: &mut dyn SampleSink,
+        keep_last: usize,
+    ) -> std::io::Result<usize> {
+        let cut = self.samples.len().saturating_sub(keep_last);
+        if cut == 0 {
+            return Ok(0);
+        }
+        sink.append(&self.samples[..cut])?;
+        self.samples.drain(..cut);
+        Ok(cut)
     }
 
     /// Total anomalous (discarded) per-node deltas across all samples.
@@ -552,6 +597,31 @@ mod tests {
         assert_eq!(s.nodes_sampled, 3);
         let slot = nas_selection().slot_of(Signal::Fxu0Exec).unwrap();
         assert_eq!(s.total.user[slot], 30, "pre-restart work on node 0 lost");
+    }
+
+    #[test]
+    fn drain_keeps_the_interval_reference_and_never_resends() {
+        let mut toy = Toy::new();
+        let mut stepped = Daemon::new(nas_selection(), 3);
+        let mut drained = Daemon::new(nas_selection(), 3);
+        let mut sink: Vec<SystemSample> = Vec::new();
+        for k in 0..6 {
+            toy.work(0, 100);
+            let t = 900.0 * k as f64;
+            stepped.collect(&toy, t);
+            drained.collect(&toy, t);
+            // Drain after every sweep: at most one sample stays resident.
+            drained.drain_samples(&mut sink, 1).unwrap();
+            assert!(drained.samples().len() <= 1);
+        }
+        let n = drained.drain_samples(&mut sink, 0).unwrap();
+        assert_eq!(n, 1);
+        assert!(drained.samples().is_empty());
+        // The sink saw every sample exactly once, bit-identical to the
+        // undrained daemon's record (same interval math throughout).
+        assert_eq!(sink, stepped.samples());
+        // Draining an empty daemon is a no-op.
+        assert_eq!(drained.drain_samples(&mut sink, 1).unwrap(), 0);
     }
 
     #[test]

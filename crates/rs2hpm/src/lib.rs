@@ -28,7 +28,9 @@ pub mod rates;
 pub mod session;
 pub mod textfmt;
 
-pub use daemon::{CounterSource, Daemon, SystemSample, PLAUSIBLE_DELTA_MAX, SAMPLE_INTERVAL_S};
+pub use daemon::{
+    CounterSource, Daemon, SampleSink, SystemSample, PLAUSIBLE_DELTA_MAX, SAMPLE_INTERVAL_S,
+};
 pub use jobreport::JobCounterReport;
 pub use rates::RateReport;
 pub use session::CounterSession;

@@ -63,14 +63,12 @@ pub fn write_job_report(report: &JobCounterReport, selection: &CounterSelection)
             report.total.system[i],
         );
     }
-    // Derived rates footer: informational, regenerated on parse.
-    let _ = writeln!(out, "# mflops {:.3}", report.rates.mflops);
-    let _ = writeln!(out, "# mips {:.3}", report.rates.mips);
-    let _ = writeln!(
-        out,
-        "# sys_user_fxu {:.4}",
-        report.rates.system_user_fxu_ratio
-    );
+    // Derived rates footer: informational, regenerated on parse. Full
+    // shortest-roundtrip precision, so a reader that trusts the footer
+    // instead of recomputing sees the exact archived values.
+    let _ = writeln!(out, "# mflops {}", report.rates.mflops);
+    let _ = writeln!(out, "# mips {}", report.rates.mips);
+    let _ = writeln!(out, "# sys_user_fxu {}", report.rates.system_user_fxu_ratio);
     out
 }
 
@@ -196,9 +194,31 @@ mod tests {
         assert_eq!(parsed.job_id, report.job_id);
         assert_eq!(parsed.nodes, report.nodes);
         assert_eq!(parsed.total, report.total);
-        assert!((parsed.rates.mflops - report.rates.mflops).abs() < 1e-9);
-        assert!(
-            (parsed.rates.system_user_fxu_ratio - report.rates.system_user_fxu_ratio).abs() < 1e-12
+        // Bit-exact: start/end print with shortest-roundtrip precision
+        // and rates are recomputed from the exact counters, so every
+        // f64 must come back with the identical bit pattern.
+        assert_eq!(parsed.start.to_bits(), report.start.to_bits());
+        assert_eq!(parsed.end.to_bits(), report.end.to_bits());
+        assert_eq!(parsed.rates.mflops.to_bits(), report.rates.mflops.to_bits());
+        assert_eq!(parsed.rates.mips.to_bits(), report.rates.mips.to_bits());
+        assert_eq!(
+            parsed.rates.system_user_fxu_ratio.to_bits(),
+            report.rates.system_user_fxu_ratio.to_bits()
+        );
+    }
+
+    #[test]
+    fn footer_carries_full_precision_rates() {
+        let (report, sel) = sample_report();
+        let text = write_job_report(&report, &sel);
+        let footer_mflops = text
+            .lines()
+            .find_map(|l| l.strip_prefix("# mflops "))
+            .unwrap();
+        assert_eq!(
+            footer_mflops.parse::<f64>().unwrap().to_bits(),
+            report.rates.mflops.to_bits(),
+            "advisory footer must round-trip the exact rate"
         );
     }
 

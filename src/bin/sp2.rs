@@ -25,9 +25,13 @@
 //! 7 artifact i/o, 8 service protocol.
 
 use sp2_repro::cluster::{EngineConfig, EngineKind};
-use sp2_repro::core::experiments::{all_experiments, experiment_or_err};
+use sp2_repro::core::compare::compare_datasets;
+use sp2_repro::core::experiments::{all_experiments, experiment_or_err, SelectionKind};
 use sp2_repro::core::serve::{self, Client, ServeConfig, Server};
-use sp2_repro::core::{export, metrics, timeline, Json, Sp2Error, Sp2System, Submission};
+use sp2_repro::core::{
+    archive, export, metrics, timeline, CampaignResult, Json, Sp2Error, Sp2System, Submission,
+    Tolerance,
+};
 use sp2_repro::hpm::{nas_selection, Hpm, Mode};
 use sp2_repro::power2::{MachineConfig, Node};
 use sp2_repro::rs2hpm::CounterSession;
@@ -70,6 +74,14 @@ COMMANDS:
     jobs [list|status|fetch|cancel] [JOB]
                                          query or control a running daemon;
                                          JOB is a unique digest prefix
+    archive <EXPERIMENT> --out FILE      run a campaign and write its samples,
+                                         job reports, accounting records, and
+                                         dataset lines as a compact columnar
+                                         sp2-archive/v1 container
+    compare A B                          diff two result sets dataset by
+                                         dataset (archives or NDJSON streams,
+                                         freely mixed); exit code reports the
+                                         verdict (see below)
 
 OPTIONS:
     --days N        campaign length in days (default 60; the paper used 270)
@@ -119,10 +131,19 @@ SERVICE OPTIONS (serve / submit / jobs):
                     the same dataset event lines the service would
                     stream (submit)
 
+ARCHIVE / COMPARE OPTIONS:
+    --out FILE      where `archive` writes the container
+    --archive FILE  run an experiment against an archived campaign
+                    instead of simulating (`sp2 table2 --archive a.sp2a`)
+    --rel-tol X     compare: relative tolerance per metric (default 1e-9)
+    --abs-tol X     compare: absolute tolerance per metric (default 0)
+
 EXIT CODES:
     0 ok   2 usage   3 unknown experiment   4 cluster config
     5 campaign spec / submission   6 campaign engine   7 artifact i/o
     8 service protocol
+    compare: 0 bit-identical   3 within tolerance   4 tolerance exceeded
+    5 shape mismatch
 ";
 
 /// Everything the front end can fail with: a usage problem (ours) or a
@@ -192,6 +213,14 @@ struct Args {
     no_wait: bool,
     /// `submit --local`: run in-process instead of through a daemon.
     local: bool,
+    /// `archive --out`: destination container path.
+    out: Option<String>,
+    /// `--archive`: replay experiments against this archived campaign.
+    archive: Option<String>,
+    /// `compare --rel-tol` (None = the codec default, 1e-9).
+    rel_tol: Option<f64>,
+    /// `compare --abs-tol` (None = 0).
+    abs_tol: Option<f64>,
 }
 
 fn available_parallelism() -> usize {
@@ -233,6 +262,10 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         seed: None,
         no_wait: false,
         local: false,
+        out: None,
+        archive: None,
+        rel_tol: None,
+        abs_tol: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -350,6 +383,36 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             }
             "--no-wait" => args.no_wait = true,
             "--local" => args.local = true,
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a FILE value")?;
+                if v.starts_with('-') {
+                    return Err(format!("--out needs a FILE value, got option {v}"));
+                }
+                args.out = Some(v);
+            }
+            "--archive" => {
+                let v = argv.next().ok_or("--archive needs a FILE value")?;
+                if v.starts_with('-') {
+                    return Err(format!("--archive needs a FILE value, got option {v}"));
+                }
+                args.archive = Some(v);
+            }
+            "--rel-tol" => {
+                let v = argv.next().ok_or("--rel-tol needs a value")?;
+                let tol: f64 = v.parse().map_err(|_| format!("bad --rel-tol value: {v}"))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err(format!("--rel-tol must be a finite value >= 0, got {v}"));
+                }
+                args.rel_tol = Some(tol);
+            }
+            "--abs-tol" => {
+                let v = argv.next().ok_or("--abs-tol needs a value")?;
+                let tol: f64 = v.parse().map_err(|_| format!("bad --abs-tol value: {v}"))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err(format!("--abs-tol must be a finite value >= 0, got {v}"));
+                }
+                args.abs_tol = Some(tol);
+            }
             "--help" | "-h" => {
                 if args.command.is_empty() {
                     args.command = "help".into();
@@ -484,55 +547,97 @@ fn engine_config(args: &Args) -> EngineConfig {
     engine
 }
 
-fn run() -> Result<(), CliError> {
+fn run() -> Result<ExitCode, CliError> {
     let args = parse_args().map_err(CliError::Usage)?;
     let engine = engine_config(&args);
     // Applied up front so commands that never build an Sp2System (probe,
     // list) still honor --metrics / --trace-out / --no-fast-forward.
     timeline::apply_engine_config(&engine);
-    dispatch(&args, engine)?;
+    let code = dispatch(&args, engine)?;
     if let Some(dest) = &args.metrics {
         dump_metrics(dest.as_deref())?;
     }
     if let Some(path) = &args.trace_out {
         dump_trace(path)?;
     }
-    Ok(())
+    Ok(code)
 }
 
-fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
+/// Runs the command. `Ok` carries the process exit code — almost always
+/// success, but `compare` reports its verdict through it.
+fn dispatch(args: &Args, engine: EngineConfig) -> Result<ExitCode, CliError> {
     let cmd = args.command.as_str();
+    let done = Ok(ExitCode::SUCCESS);
 
     match cmd {
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            return Ok(());
+            return done;
         }
         "list" => {
             for e in all_experiments() {
                 println!("{:<12} {}", e.id(), e.title());
             }
-            return Ok(());
+            return done;
         }
         "probe" => {
             let k = args
                 .arg
                 .as_deref()
                 .ok_or_else(|| CliError::Usage("probe needs a kernel name".into()))?;
-            return probe(k).map_err(CliError::Usage);
+            probe(k).map_err(CliError::Usage)?;
+            return done;
         }
-        "serve" => return cmd_serve(args, engine),
-        "submit" => return cmd_submit(args, engine),
-        "jobs" => return cmd_jobs(args),
+        "serve" => {
+            cmd_serve(args, engine)?;
+            return done;
+        }
+        "submit" => {
+            cmd_submit(args, engine)?;
+            return done;
+        }
+        "jobs" => {
+            cmd_jobs(args)?;
+            return done;
+        }
+        "archive" => {
+            cmd_archive(args, engine)?;
+            return done;
+        }
+        "compare" => return cmd_compare(args),
         _ => {}
     }
 
+    // `--archive` replaces the simulation: the archived campaign seeds
+    // the cache and its length overrides `--days` (the archive defines
+    // the campaign).
+    let preloaded = args
+        .archive
+        .as_deref()
+        .map(load_campaign_archive)
+        .transpose()?;
     let mut sys = Sp2System::builder()
-        .days(args.days)
+        .days(preloaded.as_ref().map_or(args.days, |(_, c)| c.days))
         .engine(engine)
         .faults(args.faults)
         .fault_seed(args.fault_seed)
         .build();
+    if let Some((kind, campaign)) = preloaded {
+        if campaign.faults.enabled != (args.faults > 0.0) {
+            return Err(CliError::Usage(if campaign.faults.enabled {
+                "the archived campaign ran with faults; pass the matching --faults rate".into()
+            } else {
+                "the archived campaign is fault-free; drop --faults".into()
+            }));
+        }
+        eprintln!(
+            "replaying a {}-day archived campaign ({} samples, {} job reports)…",
+            campaign.days,
+            campaign.samples.len(),
+            campaign.job_reports.len()
+        );
+        sys.preload_campaign(kind, campaign.faults.enabled, campaign);
+    }
 
     if cmd == "timeline" {
         eprintln!(
@@ -546,7 +651,7 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
         } else {
             print!("{}", timeline::render_timeline(&series));
         }
-        return Ok(());
+        return done;
     }
 
     if cmd == "campaign" || cmd == "profile" {
@@ -579,7 +684,7 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
                 print!("{}", metrics::profile_report(&snap));
             }
         }
-        return Ok(());
+        return done;
     }
 
     let exp = experiment_or_err(cmd)
@@ -593,7 +698,117 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
     } else {
         print!("{}", dataset.rendered);
     }
+    done
+}
+
+/// Loads `--archive` input: the campaign plus the cache key it should
+/// seed ([`SelectionKind`] recovered from the stored selection).
+fn load_campaign_archive(path: &str) -> Result<(SelectionKind, CampaignResult), CliError> {
+    let loaded = archive::load_archive(std::path::Path::new(path))?;
+    let campaign = loaded.campaign.ok_or_else(|| {
+        CliError::Sp2(Sp2Error::Protocol(format!(
+            "{path} holds dataset lines only, no campaign to replay"
+        )))
+    })?;
+    let kind = if campaign.selection == SelectionKind::IoAware.selection() {
+        SelectionKind::IoAware
+    } else {
+        SelectionKind::Nas
+    };
+    Ok((kind, campaign))
+}
+
+/// `sp2 archive <EXPERIMENT> --out FILE`: run the submission the same
+/// way `submit --local` would, then persist the campaign and the
+/// dataset lines as one sp2-archive/v1 container.
+fn cmd_archive(args: &Args, engine: EngineConfig) -> Result<(), CliError> {
+    let out = args
+        .out
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("archive needs --out FILE".into()))?;
+    let submission = submission_from_args(args)?;
+    eprintln!("running a {}-day campaign…", args.days);
+    let (lines, campaign) = serve::run_local_archival(&submission, engine)?;
+    let file = std::fs::File::create(out).map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+    let mut w = archive::write_campaign_archive(std::io::BufWriter::new(file), &campaign, &lines)?;
+    use std::io::Write as _;
+    w.flush().map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?;
+    eprintln!(
+        "archive written to {out} ({} samples, {} job reports, {} datasets)",
+        campaign.samples.len(),
+        campaign.job_reports.len(),
+        lines.len()
+    );
     Ok(())
+}
+
+/// Reads one `compare` input into labeled dataset documents: an
+/// sp2-archive container's dataset lines, or an NDJSON stream (dataset
+/// events picked out; side-channel events skipped; plain JSON-per-line
+/// files compare whole lines).
+fn load_compare_input(path: &str) -> Result<Vec<(String, Json)>, CliError> {
+    let p = std::path::Path::new(path);
+    let lines = if archive::file_is_archive(p) {
+        archive::load_archive(p)?.dataset_lines
+    } else {
+        std::fs::read_to_string(p)
+            .map_err(|e| CliError::Sp2(Sp2Error::Io(e)))?
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| {
+            CliError::Sp2(Sp2Error::Protocol(format!("{path} line {}: {e}", i + 1)))
+        })?;
+        match doc.get("event").and_then(Json::as_str) {
+            Some("dataset") | None => {}
+            Some(_) => continue, // metrics/timeline side channel
+        }
+        let label = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("line {}", i + 1), str::to_string);
+        // Compare the dataset body, not the stream envelope: the `job`
+        // digest covers the seed, so leaving it in would turn every
+        // different-seed comparison into a string (shape) mismatch
+        // instead of a measured numeric difference.
+        let body = doc.get("doc").cloned().unwrap_or(doc);
+        out.push((label, body));
+    }
+    Ok(out)
+}
+
+/// `sp2 compare A B`: dataset-by-dataset diff with per-metric
+/// tolerances. The verdict is the exit code: 0 bit-identical, 3 within
+/// tolerance, 4 exceeded, 5 shape mismatch.
+fn cmd_compare(args: &Args) -> Result<ExitCode, CliError> {
+    let (a, b) = match (&args.arg, &args.arg2) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(CliError::Usage(
+                "compare needs two inputs: sp2 compare A B".into(),
+            ))
+        }
+    };
+    let tolerance = Tolerance {
+        rel: args.rel_tol.unwrap_or(Tolerance::default().rel),
+        abs: args.abs_tol.unwrap_or(0.0),
+    };
+    let left = load_compare_input(a)?;
+    let right = load_compare_input(b)?;
+    let report = compare_datasets(&left, &right, tolerance);
+    if args.json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        print!("{}", report.render_table());
+    }
+    Ok(ExitCode::from(report.outcome.exit_code()))
 }
 
 /// `sp2 serve`: run the campaign service in the foreground until a
@@ -629,9 +844,10 @@ fn submission_from_args(args: &Args) -> Result<Submission, CliError> {
             .collect(),
         (None, Some(one)) => vec![one.clone()],
         (None, None) => {
-            return Err(CliError::Usage(
-                "submit needs an experiment: `sp2 submit table2` or `--experiments a,b,c`".into(),
-            ))
+            return Err(CliError::Usage(format!(
+                "{} needs an experiment: `sp2 {} table2` or `--experiments a,b,c`",
+                args.command, args.command
+            )))
         }
     };
     let mut builder = Submission::builder()
@@ -794,7 +1010,7 @@ fn connect_err(addr: &str) -> impl Fn(Sp2Error) -> CliError + '_ {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("{}", e.message());
             e.exit_code()
@@ -1009,6 +1225,40 @@ mod tests {
             parse(&["jobs", "a", "b", "c"]).is_err(),
             "three positionals"
         );
+    }
+
+    #[test]
+    fn archive_and_compare_flags_parse() {
+        let args = parse(&["archive", "table2", "--days", "2", "--out", "a.sp2a"]).expect("parses");
+        assert_eq!(args.command, "archive");
+        assert_eq!(args.arg.as_deref(), Some("table2"));
+        assert_eq!(args.out.as_deref(), Some("a.sp2a"));
+        assert!(parse(&["archive", "table2", "--out"]).is_err());
+        assert!(parse(&["archive", "table2", "--out", "--json"]).is_err());
+
+        let args = parse(&[
+            "compare",
+            "a.sp2a",
+            "b.ndjson",
+            "--rel-tol",
+            "1e-6",
+            "--abs-tol",
+            "0.5",
+            "--json",
+        ])
+        .expect("parses");
+        assert_eq!(args.command, "compare");
+        assert_eq!(args.arg.as_deref(), Some("a.sp2a"));
+        assert_eq!(args.arg2.as_deref(), Some("b.ndjson"));
+        assert_eq!(args.rel_tol, Some(1e-6));
+        assert_eq!(args.abs_tol, Some(0.5));
+        assert!(args.json);
+        assert!(parse(&["compare", "a", "b", "--rel-tol", "-1"]).is_err());
+        assert!(parse(&["compare", "a", "b", "--abs-tol", "nope"]).is_err());
+
+        let args = parse(&["table2", "--archive", "a.sp2a"]).expect("parses");
+        assert_eq!(args.archive.as_deref(), Some("a.sp2a"));
+        assert!(parse(&["table2", "--archive"]).is_err());
     }
 
     #[test]
