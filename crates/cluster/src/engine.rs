@@ -60,7 +60,7 @@ pub enum EngineKind {
 /// alone", so `EngineConfig::default()` is behavior-preserving. CLI
 /// flags translate into one of these; [`EngineConfig::apply`] pushes the
 /// explicit choices into the globals the lower layers consult.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Node engine to run campaigns on.
     pub engine: EngineKind,
@@ -77,6 +77,32 @@ pub struct EngineConfig {
     /// collector (`sp2-core`'s timeline module), not by
     /// [`EngineConfig::apply`].
     pub recording_cadence: Option<u64>,
+    /// Longest steady-sweep run the cluster-interval fast-forward may
+    /// gather when samples spill to a `SampleSink` (out-of-core
+    /// campaigns). The cap is what bounds sample residency between sink
+    /// drains: an idle multi-month campaign would otherwise gather its
+    /// whole history as one run before anything could leave the
+    /// process. Without a sink the run is unbounded (the samples are
+    /// resident anyway) and this field is ignored. Splitting a steady
+    /// run never changes results — the first sweeps of the next run are
+    /// stepped, and stepping is bit-identical to fast-forwarding — so
+    /// this knob trades residency against elision length only. Default
+    /// 96 (one day of 15-minute sweeps); must be at least 2 (a run of
+    /// one can never elide).
+    pub spill_max_run: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            engine: EngineKind::default(),
+            threads: None,
+            fast_forward: None,
+            metrics: None,
+            recording_cadence: None,
+            spill_max_run: 96,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -107,6 +133,18 @@ impl EngineConfig {
     /// Sets the flight-recorder cadence explicitly.
     pub fn recording_cadence(mut self, cadence: u64) -> Self {
         self.recording_cadence = Some(cadence);
+        self
+    }
+
+    /// Sets the spill-mode steady-run cap (see the field docs).
+    ///
+    /// # Panics
+    /// Panics when `cap < 2`: a cap of 1 would forbid gathering even a
+    /// template sweep and silently disable the fast-forward, which is
+    /// what [`EngineConfig::fast_forward`] is for.
+    pub fn spill_max_run(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "spill_max_run must be at least 2, got {cap}");
+        self.spill_max_run = cap;
         self
     }
 
@@ -170,6 +208,20 @@ impl PlanEntry {
     }
 }
 
+/// Reusable temporaries for the advance passes: the distinct
+/// `(plan, dt_bits)` keys seen this pass, their resolved deltas, the
+/// per-node delta index (dense, for whole-bank passes), and the
+/// `(node, delta index)` list (sparse, for job-sized node lists). Held
+/// by the bank and cleared per pass so steady-state advancing allocates
+/// nothing once the vectors have grown to their working size.
+#[derive(Debug, Clone, Default)]
+struct ResolveScratch {
+    keys: Vec<(u32, u64)>,
+    deltas: Vec<BatchDelta>,
+    which: Vec<u32>,
+    targets: Vec<(u32, u32)>,
+}
+
 /// The batch node engine: every node's counters, activity, and clock in
 /// struct-of-arrays layout.
 ///
@@ -187,6 +239,7 @@ pub struct NodeBank {
     plans: Vec<PlanEntry>,
     /// Plan slots whose refcount dropped to zero, reused on intern.
     free: Vec<u32>,
+    scratch: ResolveScratch,
 }
 
 impl NodeBank {
@@ -199,6 +252,7 @@ impl NodeBank {
             last_advance: vec![0.0; nodes],
             plans: Vec::new(),
             free: Vec::new(),
+            scratch: ResolveScratch::default(),
         }
     }
 
@@ -260,10 +314,12 @@ impl NodeBank {
     /// once.
     pub fn advance_all(&mut self, t: f64) {
         let n = self.node_count();
-        let mut keys: Vec<(u32, u64)> = Vec::new();
-        let mut deltas: Vec<BatchDelta> = Vec::new();
-        let mut which: Vec<u32> = vec![u32::MAX; n];
-        for (i, w) in which.iter_mut().enumerate() {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.keys.clear();
+        scratch.deltas.clear();
+        scratch.which.clear();
+        scratch.which.resize(n, u32::MAX);
+        for (i, w) in scratch.which.iter_mut().enumerate() {
             let last = self.last_advance[i];
             assert!(t >= last - 1e-9, "time went backwards: {t} < {last}");
             let dt = t - last;
@@ -273,18 +329,61 @@ impl NodeBank {
             self.last_advance[i] = t;
             let Some(p) = self.plan_of[i] else { continue };
             let bits = dt.to_bits();
-            let idx = match keys.iter().position(|&k| k == (p, bits)) {
+            let idx = match scratch.keys.iter().position(|&k| k == (p, bits)) {
                 Some(idx) => idx,
                 None => {
                     let d = self.plans[p as usize].delta(dt, &self.selection).clone();
-                    keys.push((p, bits));
-                    deltas.push(d);
-                    deltas.len() - 1
+                    scratch.keys.push((p, bits));
+                    scratch.deltas.push(d);
+                    scratch.deltas.len() - 1
                 }
             };
             *w = idx as u32;
         }
-        self.apply_resolved(&which, &deltas, 1);
+        self.apply_resolved(&scratch.which, &scratch.deltas, 1);
+        self.scratch = scratch;
+    }
+
+    /// Advances just the listed nodes to `t` — the job prologue/epilogue
+    /// path, where a whole allocation is read at once. Exactly
+    /// equivalent to [`NodeBank::advance_node`] per node (each node must
+    /// appear at most once), but the distinct `(plan, dt)` deltas are
+    /// resolved once for the list instead of once per node, and each
+    /// resolved delta is applied straight from the plan's cache — no
+    /// clone, no allocation beyond the bank's reusable scratch.
+    pub fn advance_many(&mut self, nodes: &[usize], t: f64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.keys.clear();
+        scratch.targets.clear();
+        for &i in nodes {
+            let last = self.last_advance[i];
+            assert!(t >= last - 1e-9, "time went backwards: {t} < {last}");
+            let dt = t - last;
+            if dt <= 0.0 {
+                continue;
+            }
+            self.last_advance[i] = t;
+            let Some(p) = self.plan_of[i] else { continue };
+            let bits = dt.to_bits();
+            let idx = match scratch.keys.iter().position(|&k| k == (p, bits)) {
+                Some(idx) => idx,
+                None => {
+                    scratch.keys.push((p, bits));
+                    scratch.keys.len() - 1
+                }
+            };
+            scratch.targets.push((i as u32, idx as u32));
+        }
+        for (gi, &(p, bits)) in scratch.keys.iter().enumerate() {
+            let dt = f64::from_bits(bits);
+            let delta = self.plans[p as usize].delta(dt, &self.selection);
+            for &(i, w) in &scratch.targets {
+                if w as usize == gi {
+                    delta.apply_to(self.batch.node_lanes_mut(i as usize));
+                }
+            }
+        }
+        self.scratch = scratch;
     }
 
     /// Fast-forwards every node through `steps` sweeps of exactly `dt`
@@ -300,10 +399,13 @@ impl NodeBank {
     /// those times exact f64 multiples of the interval).
     pub fn advance_steady(&mut self, dt: f64, steps: u64, t_final: f64) {
         let n = self.node_count();
-        let mut keys: Vec<u32> = Vec::new();
-        let mut deltas: Vec<BatchDelta> = Vec::new();
-        let mut which: Vec<u32> = vec![u32::MAX; n];
-        for (i, w) in which.iter_mut().enumerate() {
+        let bits = dt.to_bits();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.keys.clear();
+        scratch.deltas.clear();
+        scratch.which.clear();
+        scratch.which.resize(n, u32::MAX);
+        for (i, w) in scratch.which.iter_mut().enumerate() {
             let last = self.last_advance[i];
             assert!(
                 t_final >= last - 1e-9,
@@ -311,18 +413,19 @@ impl NodeBank {
             );
             self.last_advance[i] = t_final;
             let Some(p) = self.plan_of[i] else { continue };
-            let idx = match keys.iter().position(|&k| k == p) {
+            let idx = match scratch.keys.iter().position(|&k| k == (p, bits)) {
                 Some(idx) => idx,
                 None => {
                     let d = self.plans[p as usize].delta(dt, &self.selection).clone();
-                    keys.push(p);
-                    deltas.push(d);
-                    deltas.len() - 1
+                    scratch.keys.push((p, bits));
+                    scratch.deltas.push(d);
+                    scratch.deltas.len() - 1
                 }
             };
             *w = idx as u32;
         }
-        self.apply_resolved(&which, &deltas, steps);
+        self.apply_resolved(&scratch.which, &scratch.deltas, steps);
+        self.scratch = scratch;
     }
 
     /// Applies the resolved per-node deltas (scaled by `steps`) onto the
@@ -421,6 +524,13 @@ impl NodeBank {
     /// buffers — the sweep loop's allocation-free read.
     pub fn snapshot_into(&self, node: usize, out: &mut CounterSnapshot) {
         self.batch.snapshot_into(node, out);
+    }
+
+    /// [`NodeBank::snapshot_into`] over a node list in one pass over the
+    /// lane buffer — `outs[i]` receives `nodes[i]`'s reading. Pair with
+    /// [`NodeBank::advance_many`] for the job prologue/epilogue path.
+    pub fn snapshot_many_into(&self, nodes: &[usize], outs: &mut [CounterSnapshot]) {
+        self.batch.snapshot_many_into(nodes, outs);
     }
 }
 

@@ -40,5 +40,5 @@ pub use sim::{
     run_campaign_with_threads, run_replications, CampaignError, CancelToken, ClusterConfig,
     ClusterConfigBuilder, ClusterConfigError,
 };
-pub use sp2_rs2hpm::SampleSink;
+pub use sp2_rs2hpm::{SampleSink, SystemSample};
 pub use state::NodeState;

@@ -19,6 +19,13 @@ pub static EVENTS: Counter = Counter::new("cluster.events");
 /// Simulated seconds covered by completed campaigns.
 pub static SIMULATED_S: Counter = Counter::new("cluster.simulated_seconds");
 
+/// Sweeps delivered to the daemon, stepped or replayed.
+pub static SWEEPS: Counter = Counter::new("cluster.sweeps");
+
+/// Sweeps satisfied by cluster-interval fast-forward instead of
+/// stepping (`sweeps_elided / sweeps` is the campaign's elision rate).
+pub static SWEEPS_ELIDED: Counter = Counter::new("cluster.sweeps_elided");
+
 /// Wall time of the parallel per-node advance in each sampling pass.
 pub static ADVANCE: Timer = Timer::new("cluster.phase.advance");
 
@@ -44,6 +51,8 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     CAMPAIGN.observe(snap);
     EVENTS.observe(snap);
     SIMULATED_S.observe(snap);
+    SWEEPS.observe(snap);
+    SWEEPS_ELIDED.observe(snap);
     ADVANCE.observe(snap);
     ADVANCE_BUSY_NS.observe(snap);
     SAMPLE.observe(snap);
@@ -76,6 +85,8 @@ pub fn reset() {
     CAMPAIGN.reset();
     EVENTS.reset();
     SIMULATED_S.reset();
+    SWEEPS.reset();
+    SWEEPS_ELIDED.reset();
     ADVANCE.reset();
     ADVANCE_BUSY_NS.reset();
     SAMPLE.reset();
@@ -95,6 +106,8 @@ mod tests {
         for key in [
             "cluster.campaign",
             "cluster.events",
+            "cluster.sweeps",
+            "cluster.sweeps_elided",
             "cluster.phase.advance",
             "cluster.phase.sample",
             "cluster.phase.schedule",

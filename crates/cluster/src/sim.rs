@@ -30,15 +30,6 @@ use std::fmt;
 /// attempt plus up to two requeues after node failures.
 const MAX_JOB_ATTEMPTS: u32 = 3;
 
-/// Longest steady-sweep run the fast-forward may gather when samples
-/// spill to a [`SampleSink`]: one day of 15-minute sweeps. Without a
-/// sink the run is unbounded (the samples are resident anyway); with
-/// one, the cap is what keeps an idle multi-month campaign from
-/// materializing its whole sample history between drains. Splitting a
-/// steady run never changes results — the first sweeps of the next run
-/// are stepped, and stepping is bit-identical to fast-forwarding.
-const SPILL_MAX_RUN: usize = 96;
-
 /// Machine-level configuration of the simulated SP2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -287,8 +278,28 @@ struct RunningJob {
     prologue: Vec<CounterSnapshot>,
 }
 
+/// Per-campaign scratch for the job prologue/epilogue path. Retired
+/// snapshot buffers and emptied prologue vectors cycle through these
+/// pools instead of being dropped, so after warm-up a job start or
+/// finish performs no heap allocation: prologues are drawn from
+/// `prologues` + `snaps`, the epilogue batch is `epilogue` reused
+/// across every Finish event, and a completed (or killed) job's buffers
+/// all return here.
+#[derive(Default)]
+struct JobScratch {
+    /// Retired [`CounterSnapshot`] buffers, ready to be overwritten.
+    snaps: Vec<CounterSnapshot>,
+    /// Retired prologue vectors (emptied, capacity kept).
+    prologues: Vec<Vec<CounterSnapshot>>,
+    /// The epilogue batch, drained back into `snaps` after each report.
+    epilogue: Vec<CounterSnapshot>,
+}
+
 /// The node-state engine behind the event loop: same operations, same
 /// results, two implementations (see the module docs).
+// One Engine exists per campaign and lives on the stack of the event
+// loop, so the size gap between the variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Engine {
     Reference(Vec<NodeState>),
     Batch(NodeBank),
@@ -335,13 +346,6 @@ impl Engine {
         }
     }
 
-    fn snapshot_at(&mut self, node: usize, t: f64) -> CounterSnapshot {
-        match self {
-            Engine::Reference(nodes) => nodes[node].snapshot_at(t),
-            Engine::Batch(bank) => bank.snapshot_at(node, t),
-        }
-    }
-
     fn snapshot(&self, node: usize) -> CounterSnapshot {
         match self {
             Engine::Reference(nodes) => nodes[node].hpm().snapshot(),
@@ -355,6 +359,48 @@ impl Engine {
         match self {
             Engine::Reference(nodes) => nodes[node].hpm().snapshot_into(out),
             Engine::Batch(bank) => bank.snapshot_into(node, out),
+        }
+    }
+
+    /// Advances every listed node to `t`, then snapshots them all into
+    /// `out` — the job prologue/epilogue path, equivalent to
+    /// [`Engine::snapshot_at`] per node. The batch engine resolves the
+    /// distinct `(plan, dt)` deltas once for the whole allocation and
+    /// reads every node's lanes in one pass; snapshot buffers are drawn
+    /// from `pool` (retired ones go back via the caller), so the path
+    /// allocates nothing once the pool is warm.
+    fn snapshot_many_at(
+        &mut self,
+        targets: &[usize],
+        t: f64,
+        out: &mut Vec<CounterSnapshot>,
+        pool: &mut Vec<CounterSnapshot>,
+    ) {
+        debug_assert!(out.is_empty(), "callers drain the batch back to the pool");
+        out.clear();
+        match self {
+            Engine::Reference(nodes) => {
+                for &n in targets {
+                    nodes[n].advance(t);
+                    match pool.pop() {
+                        Some(mut s) => {
+                            nodes[n].hpm().snapshot_into(&mut s);
+                            out.push(s);
+                        }
+                        None => out.push(nodes[n].hpm().snapshot()),
+                    }
+                }
+            }
+            Engine::Batch(bank) => {
+                bank.advance_many(targets, t);
+                for &n in targets {
+                    match pool.pop() {
+                        Some(s) => out.push(s),
+                        None => out.push(bank.snapshot(n)),
+                    }
+                }
+                bank.snapshot_many_into(targets, out);
+            }
         }
     }
 
@@ -443,7 +489,7 @@ pub fn run_campaign(
         trace,
         days,
         faults,
-        EngineKind::Reference,
+        &EngineConfig::default().engine(EngineKind::Reference),
         None,
         None,
     )
@@ -511,28 +557,10 @@ pub fn run_campaign_cfg_spill(
                 .build()
                 .map_err(|e| CampaignError::ThreadPool(e.to_string()))?;
             pool.install(|| {
-                run_campaign_inner(
-                    config,
-                    library,
-                    trace,
-                    days,
-                    faults,
-                    engine.engine,
-                    cancel,
-                    spill,
-                )
+                run_campaign_inner(config, library, trace, days, faults, engine, cancel, spill)
             })
         }
-        None => run_campaign_inner(
-            config,
-            library,
-            trace,
-            days,
-            faults,
-            engine.engine,
-            cancel,
-            spill,
-        ),
+        None => run_campaign_inner(config, library, trace, days, faults, engine, cancel, spill),
     }
 }
 
@@ -543,7 +571,7 @@ fn run_campaign_inner(
     trace: &[SubmittedJob],
     days: u32,
     faults: &FaultPlan,
-    kind: EngineKind,
+    engine_cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
     mut spill: Option<&mut dyn SampleSink>,
 ) -> Result<CampaignResult, CampaignError> {
@@ -556,7 +584,7 @@ fn run_campaign_inner(
     let daemon_sig = daemon_sample_signature(&config.machine);
     let idle_plan = ActivityPlan::idle(&daemon_sig, &config.paging);
 
-    let mut engine = Engine::new(kind, &selection, config.nodes);
+    let mut engine = Engine::new(engine_cfg.engine, &selection, config.nodes);
     for n in 0..config.nodes {
         engine.set_activity(n, 0.0, Some(idle_plan.clone()));
     }
@@ -612,6 +640,8 @@ fn run_campaign_inner(
     );
     sp2_trace::recorder::on_sweep(0, 0.0);
 
+    let mut scratch = JobScratch::default();
+
     // Start any jobs PBS can place at `now`.
     let start_jobs = |now: f64,
                       pbs: &mut Pbs,
@@ -620,7 +650,8 @@ fn run_campaign_inner(
                       heap: &mut BinaryHeap<Reverse<Scheduled>>,
                       seq: &mut u64,
                       attempts: &[u32],
-                      trace: &[SubmittedJob]| {
+                      trace: &[SubmittedJob],
+                      scratch: &mut JobScratch| {
         let _sched_span = crate::metrics::SCHEDULE.span();
         let _sched_ev = sp2_trace::events::span("schedule", "phase");
         for started in pbs.schedule(now) {
@@ -648,10 +679,8 @@ fn run_campaign_inner(
                 config.machine.memory_bytes,
                 started.spec.nodes,
             );
-            let mut prologue = Vec::with_capacity(started.nodes.len());
-            for &n in &started.nodes {
-                prologue.push(engine.snapshot_at(n, now));
-            }
+            let mut prologue = scratch.prologues.pop().unwrap_or_default();
+            engine.snapshot_many_at(&started.nodes, now, &mut prologue, &mut scratch.snaps);
             engine.set_activity_many(&started.nodes, now, plan);
             // PBS enforces the walltime limit: a job that would run past
             // its request is killed at the limit (no checkpointing on
@@ -690,8 +719,14 @@ fn run_campaign_inner(
     // steady sweeps (see the Sample arm). The reference engine never
     // does — it is the baseline the elision is proven against — and
     // `--no-fast-forward` forces full stepping for A/B runs, the same
-    // switch that governs the kernel-level fast-forward.
-    let steady_ff = matches!(engine, Engine::Batch(_)) && sp2_power2::fast_forward_enabled();
+    // switch that governs the kernel-level fast-forward. The switch is
+    // read from the config when set (one read per campaign, immune to
+    // other threads flipping the process global mid-run) and from the
+    // global otherwise.
+    let steady_ff = engine_cfg.engine == EngineKind::Batch
+        && engine_cfg
+            .fast_forward
+            .unwrap_or_else(sp2_power2::fast_forward_enabled);
 
     while let Some(Reverse(Scheduled { t, ev, .. })) = heap.pop() {
         if t > horizon {
@@ -719,6 +754,7 @@ fn run_campaign_inner(
                     &mut seq,
                     &attempts,
                     trace,
+                    &mut scratch,
                 );
             }
             Ev::Finish(id, attempt) => {
@@ -726,22 +762,23 @@ fn run_campaign_inner(
                     // Stale: this attempt was killed by a node failure.
                     continue;
                 }
-                let Some(job) = running.remove(&id) else {
+                let Some(mut job) = running.remove(&id) else {
                     continue;
                 };
-                let mut pairs = Vec::with_capacity(job.nodes.len());
-                for (before, &n) in job.prologue.into_iter().zip(job.nodes.iter()) {
-                    let after = engine.snapshot_at(n, t);
-                    pairs.push((before, after));
-                }
+                engine.snapshot_many_at(&job.nodes, t, &mut scratch.epilogue, &mut scratch.snaps);
                 engine.set_activity_many(&job.nodes, t, idle_plan.clone());
                 job_reports.push(JobCounterReport::from_snapshots(
                     &selection,
                     job.spec.id.0,
                     job.start,
                     t,
-                    &pairs,
+                    &job.prologue,
+                    &scratch.epilogue,
                 ));
+                scratch.snaps.append(&mut job.prologue);
+                scratch.prologues.push(job.prologue);
+                let epilogue_drain = scratch.epilogue.drain(..);
+                scratch.snaps.extend(epilogue_drain);
                 pbs.finish(id, t)?;
                 if sp2_trace::recording() {
                     sp2_trace::events::sim_span(format!("job {} run", id.0), "pbs", job.start, t);
@@ -763,6 +800,7 @@ fn run_campaign_inner(
                     &mut seq,
                     &attempts,
                     trace,
+                    &mut scratch,
                 );
             }
             Ev::Sample(k) => {
@@ -775,36 +813,109 @@ fn run_campaign_inner(
                     summary.daemon_restarts += 1;
                 }
                 // Gather the steady run: this sweep plus every Sample
-                // event that follows it directly on the heap — same
-                // cadence, nothing scheduled in between, and no fault
-                // interaction of its own. Between two such sweeps no
-                // job, outage, or glitch can touch any node, which is
-                // the precondition for the cluster-interval
-                // fast-forward below.
+                // event ahead of it on the heap that keeps the cadence
+                // (next index, no fault interaction of its own), peeking
+                // *past* events that provably leave node state alone.
+                // Non-mutating events are executed here at their correct
+                // timestamps — PBS bookkeeping, metrics, fault
+                // accounting all happen exactly as they would stepping —
+                // so between two gathered sweeps no job, outage, or
+                // glitch touches any node, which is the precondition for
+                // the cluster-interval fast-forward below. The
+                // classification (see DESIGN §4c):
+                //   - Submit that only queues (`Pbs::would_start` is
+                //     false): submitted here; starts nothing.
+                //   - Finish for a superseded attempt: dropped here,
+                //     exactly as the stale check in the Finish arm would.
+                //   - NodeDown for an already-down node / NodeUp for an
+                //     already-up node: dropped, as their arms would.
+                // A Submit that *would* start a job still ends the run,
+                // but the submit itself is absorbed and the schedule
+                // deferred to after the gathered window is applied —
+                // the gathered sweeps all precede it in heap order, so
+                // this reproduces the reference event order exactly.
                 let mut run: Vec<(u64, f64)> = vec![(k, t)];
                 let max_run = if spill.is_some() {
-                    SPILL_MAX_RUN
+                    engine_cfg.spill_max_run
                 } else {
                     usize::MAX
                 };
+                let mut deferred_submit: Option<f64> = None;
                 if steady_ff {
                     while run.len() < max_run {
                         let Some(&Reverse(next)) = heap.peek() else {
                             break;
                         };
-                        let Ev::Sample(kk) = next.ev else { break };
-                        let prev_k = run[run.len() - 1].0;
-                        if kk != prev_k + 1
-                            || next.t > horizon
-                            || faults.sweep_missed(kk)
-                            || faults.restart_before_sweep(kk)
-                            || !faults.glitched_nodes(kk).is_empty()
-                        {
+                        if next.t > horizon {
                             break;
                         }
-                        crate::metrics::EVENTS.inc();
-                        run.push((kk, next.t));
-                        heap.pop();
+                        match next.ev {
+                            Ev::Sample(kk) => {
+                                let prev_k = run[run.len() - 1].0;
+                                if kk != prev_k + 1
+                                    || faults.sweep_missed(kk)
+                                    || faults.restart_before_sweep(kk)
+                                    || !faults.glitched_nodes(kk).is_empty()
+                                {
+                                    break;
+                                }
+                                crate::metrics::EVENTS.inc();
+                                run.push((kk, next.t));
+                                heap.pop();
+                            }
+                            Ev::Finish(id, attempt) => {
+                                if running.get(&id).map(|j| j.attempt) == Some(attempt) {
+                                    break; // live finish: real node-state mutation
+                                }
+                                crate::metrics::EVENTS.inc();
+                                heap.pop();
+                            }
+                            Ev::NodeDown(node) => {
+                                if !down[node] {
+                                    break; // real outage
+                                }
+                                crate::metrics::EVENTS.inc();
+                                heap.pop();
+                            }
+                            Ev::NodeUp(node) => {
+                                if down[node] {
+                                    break; // real recovery
+                                }
+                                crate::metrics::EVENTS.inc();
+                                heap.pop();
+                            }
+                            Ev::Submit(i) => {
+                                crate::metrics::EVENTS.inc();
+                                heap.pop();
+                                let job = &trace[i];
+                                pbs.submit(JobSpec {
+                                    id: JobId(i as u64),
+                                    nodes: job.nodes,
+                                    requested_walltime_s: job.requested_walltime_s,
+                                    payload: i as u64,
+                                })?;
+                                if pbs.would_start() {
+                                    // Starting now would advance nodes
+                                    // past the gathered sweep times;
+                                    // apply the window first, then
+                                    // schedule at the submit's own
+                                    // timestamp.
+                                    deferred_submit = Some(next.t);
+                                    break;
+                                }
+                                start_jobs(
+                                    next.t,
+                                    &mut pbs,
+                                    &mut engine,
+                                    &mut running,
+                                    &mut heap,
+                                    &mut seq,
+                                    &attempts,
+                                    trace,
+                                    &mut scratch,
+                                );
+                            }
+                        }
                     }
                 }
                 let active = down.iter().filter(|&&d| !d).count();
@@ -846,6 +957,8 @@ fn run_campaign_inner(
                         let _ff_span = crate::metrics::ADVANCE.span();
                         let _ff_ev = sp2_trace::events::span("cluster fast-forward", "phase");
                         let steps = (run.len() - i) as u64;
+                        crate::metrics::SWEEPS.add(steps);
+                        crate::metrics::SWEEPS_ELIDED.add(steps);
                         let t_final = run[run.len() - 1].1;
                         bank.advance_steady(SAMPLE_INTERVAL_S, steps, t_final);
                         for (n, slot) in sweep_batch.iter_mut().enumerate() {
@@ -905,6 +1018,7 @@ fn run_campaign_inner(
                     }
                     summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
                     daemon.collect_batch(&mut sweep_batch, tt);
+                    crate::metrics::SWEEPS.inc();
                     sp2_trace::recorder::on_sweep(kk, tt);
                     i += 1;
                 }
@@ -917,6 +1031,23 @@ fn run_campaign_inner(
                     daemon
                         .drain_samples(&mut **sink, 1)
                         .map_err(|e| CampaignError::Spill(e.to_string()))?;
+                }
+                // A gather-absorbed Submit whose job fits runs its
+                // schedule pass now, after the window it trailed on the
+                // heap has been applied — same order the reference loop
+                // would process it in.
+                if let Some(t_sub) = deferred_submit {
+                    start_jobs(
+                        t_sub,
+                        &mut pbs,
+                        &mut engine,
+                        &mut running,
+                        &mut heap,
+                        &mut seq,
+                        &attempts,
+                        trace,
+                        &mut scratch,
+                    );
                 }
             }
             Ev::NodeDown(node) => {
@@ -935,9 +1066,12 @@ fn run_campaign_inner(
                 let victim = pbs.take_node_offline(node);
                 if let Some(id) = victim {
                     let killed = pbs.kill(id, t)?;
-                    if let Some(job) = running.remove(&id) {
+                    if let Some(mut job) = running.remove(&id) {
                         // Surviving siblings drop back to idle; no
-                        // epilogue runs for a killed job.
+                        // epilogue runs for a killed job — its prologue
+                        // buffers go straight back to the scratch pool.
+                        scratch.snaps.append(&mut job.prologue);
+                        scratch.prologues.push(job.prologue);
                         for &n in &job.nodes {
                             if n != node && !down[n] {
                                 engine.set_activity(n, t, Some(idle_plan.clone()));
@@ -984,6 +1118,7 @@ fn run_campaign_inner(
                     &mut seq,
                     &attempts,
                     trace,
+                    &mut scratch,
                 );
             }
             Ev::NodeUp(node) => {
@@ -1012,6 +1147,7 @@ fn run_campaign_inner(
                     &mut seq,
                     &attempts,
                     trace,
+                    &mut scratch,
                 );
             }
         }
@@ -1123,7 +1259,7 @@ pub fn run_replications(
                 &jobs,
                 spec.days,
                 faults,
-                EngineKind::default(),
+                &EngineConfig::default(),
                 None,
                 None,
             )

@@ -229,6 +229,36 @@ impl Pbs {
         started
     }
 
+    /// Whether a [`Pbs::schedule`] pass right now would start at least
+    /// one job — the same policy as `schedule`, evaluated without side
+    /// effects (no allocation, no state or metric changes).
+    ///
+    /// The answer is exact, not conservative: `schedule` starts a job
+    /// only when the head fits the free pool, or when the head is
+    /// blocked without draining and one of the next `backfill_depth`
+    /// queued jobs fits. Free nodes only shrink as jobs start, so if no
+    /// candidate fits the *current* pool, the pass starts nothing. The
+    /// cluster engine's fast-forward leans on this to classify a `Submit`
+    /// that merely queues as non-mutating: node state cannot change when
+    /// nothing starts.
+    pub fn would_start(&self) -> bool {
+        let Some(head) = self.queue.front() else {
+            return false;
+        };
+        let free = self.free_nodes();
+        if head.nodes as usize <= free {
+            return true;
+        }
+        if head.needs_drain(self.drain_threshold) {
+            return false;
+        }
+        self.queue
+            .iter()
+            .skip(1)
+            .take(self.backfill_depth)
+            .any(|j| j.nodes as usize <= free)
+    }
+
     fn release(&mut self, id: JobId, now: f64, killed: bool) -> Result<StartedJob, PbsError> {
         let Some(job) = self.running.remove(&id) else {
             return Err(PbsError::NotRunning { id });
@@ -472,6 +502,53 @@ mod tests {
     }
 
     #[test]
+    fn would_start_mirrors_schedule_exactly() {
+        // Empty queue: nothing to start.
+        let mut pbs = Pbs::new(8);
+        assert!(!pbs.would_start());
+        // Head fits.
+        pbs.submit(spec(1, 4)).unwrap();
+        assert!(pbs.would_start());
+        pbs.schedule(0.0);
+        // Head blocked, small job can backfill.
+        pbs.submit(spec(2, 6)).unwrap();
+        pbs.submit(spec(3, 2)).unwrap();
+        assert!(pbs.would_start());
+        pbs.schedule(1.0);
+        // Head still blocked, nothing left that fits.
+        assert!(!pbs.would_start());
+        assert!(pbs.schedule(2.0).is_empty());
+    }
+
+    #[test]
+    fn would_start_respects_drain() {
+        let mut pbs = Pbs::new(144);
+        pbs.submit(spec(1, 100)).unwrap();
+        pbs.schedule(0.0);
+        pbs.submit(spec(2, 128)).unwrap(); // > 64: drains when blocked
+        pbs.submit(spec(3, 4)).unwrap(); // fits, but drain forbids it
+        assert!(!pbs.would_start());
+        assert!(pbs.schedule(1.0).is_empty());
+        pbs.finish(JobId(1), 2.0).unwrap();
+        assert!(pbs.would_start());
+        assert_eq!(pbs.schedule(2.0).len(), 2);
+    }
+
+    #[test]
+    fn would_start_respects_backfill_depth() {
+        let mut pbs = Pbs::new(8);
+        pbs.submit(spec(1, 6)).unwrap();
+        pbs.schedule(0.0);
+        pbs.submit(spec(2, 8)).unwrap(); // blocked head, no drain (≤ 64)
+        for i in 0..16 {
+            pbs.submit(spec(3 + i, 8)).unwrap(); // fill the backfill window
+        }
+        pbs.submit(spec(99, 1)).unwrap(); // fits, but beyond the window
+        assert!(!pbs.would_start());
+        assert!(pbs.schedule(1.0).is_empty());
+    }
+
+    #[test]
     fn failing_idle_node_reports_no_job() {
         let mut pbs = Pbs::new(2);
         assert_eq!(pbs.take_node_offline(1), None);
@@ -535,7 +612,14 @@ mod proptests {
                     // Scheduling pass.
                     _ => {}
                 }
-                for started in pbs.schedule(t) {
+                let predicted = pbs.would_start();
+                let started_now = pbs.schedule(t);
+                prop_assert_eq!(
+                    predicted,
+                    !started_now.is_empty(),
+                    "would_start must agree with schedule"
+                );
+                for started in started_now {
                     prop_assert_eq!(started.nodes.len(), started.spec.nodes as usize);
                     for &n in &started.nodes {
                         // Dedicated: nobody else may hold this node.

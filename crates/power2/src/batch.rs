@@ -101,6 +101,26 @@ impl CounterBatch {
     pub fn reset(&mut self, node: usize) {
         self.node_lanes_mut(node).fill(0);
     }
+
+    /// [`CounterBatch::snapshot_into`] over a node list in one pass —
+    /// the job prologue/epilogue path, where every node of a wide job is
+    /// read at once. `outs[i]` receives `nodes[i]`'s reading; each
+    /// snapshot's buffers are reused, so the call allocates nothing once
+    /// the snapshots are sized (a fresh `CounterSnapshot::default()`
+    /// grows on first use).
+    ///
+    /// # Panics
+    /// Panics when `outs` is shorter than `nodes`.
+    pub fn snapshot_many_into(&self, nodes: &[usize], outs: &mut [CounterSnapshot]) {
+        assert!(
+            outs.len() >= nodes.len(),
+            "snapshot batch needs one slot per node"
+        );
+        for (&node, out) in nodes.iter().zip(outs.iter_mut()) {
+            let lanes = self.node_lanes(node);
+            out.copy_from_slices(&lanes[..self.slots], &lanes[self.slots..]);
+        }
+    }
 }
 
 /// One advance interval's counter increments, pre-folded through the
@@ -291,6 +311,34 @@ mod tests {
         let slot = sel.slot_of(Signal::Fxu0Exec).unwrap();
         assert_eq!(batch.snapshot(0).user[slot], 0);
         assert_eq!(batch.snapshot(1).user[slot], 10);
+    }
+
+    #[test]
+    fn snapshot_many_matches_one_at_a_time() {
+        let sel = nas_selection();
+        let user = event_set(&[(Signal::Fxu0Exec, 3), (Signal::Cycles, 10)]);
+        let none = EventSet::new();
+        let delta = BatchDelta::fold(&sel, &user, &none, true);
+        let mut batch = CounterBatch::new(sel, 5);
+        for n in [0usize, 2, 4] {
+            delta.apply_to(batch.node_lanes_mut(n));
+        }
+        let nodes = [4usize, 0, 3];
+        // Stale, differently-sized buffers must be fully overwritten.
+        let mut outs: Vec<CounterSnapshot> = nodes.iter().map(|_| batch.snapshot(1)).collect();
+        outs[0].user.push(777);
+        batch.snapshot_many_into(&nodes, &mut outs);
+        for (&n, out) in nodes.iter().zip(&outs) {
+            assert_eq!(*out, batch.snapshot(n), "node {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per node")]
+    fn snapshot_many_rejects_short_batch() {
+        let batch = CounterBatch::new(nas_selection(), 2);
+        let mut outs = vec![batch.snapshot(0)];
+        batch.snapshot_many_into(&[0, 1], &mut outs);
     }
 
     #[test]

@@ -220,6 +220,15 @@ impl Daemon {
     /// the previous sample's — same totals, same rates — so the clone is
     /// bit-identical to what stepping would have produced.
     ///
+    /// The window may still have *contained* events, as long as none of
+    /// them touched node state: the campaign loop discharges the
+    /// obligation for queue-only job submissions, superseded job
+    /// finishes, and redundant outage notices by executing their
+    /// bookkeeping at the correct timestamps while the sweeps between
+    /// them are gathered (DESIGN §4c's mutating/non-mutating
+    /// classification). Whether the window was empty or merely
+    /// non-mutating is invisible here — only node state matters.
+    ///
     /// `snapshots` must hold every node's counters as of the *last* time
     /// (`None` for unavailable nodes); they replace the per-node
     /// baselines exactly as stepping would have left them. Like

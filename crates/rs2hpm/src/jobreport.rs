@@ -28,28 +28,37 @@ pub struct JobCounterReport {
 }
 
 impl JobCounterReport {
-    /// Builds the report from prologue/epilogue snapshot pairs, one pair
-    /// per allocated node.
+    /// Builds the report from prologue/epilogue snapshot batches:
+    /// `before[i]` and `after[i]` are the same node's counters at job
+    /// start and finish. Parallel slices rather than pairs so the event
+    /// loop can hand over its pooled batch buffers without re-pairing.
     ///
     /// # Panics
-    /// Panics on an empty node list or a non-positive window.
+    /// Panics on an empty node list, mismatched batch lengths, or a
+    /// non-positive window.
     pub fn from_snapshots(
         selection: &CounterSelection,
         job_id: u64,
         start: f64,
         end: f64,
-        pairs: &[(CounterSnapshot, CounterSnapshot)],
+        before: &[CounterSnapshot],
+        after: &[CounterSnapshot],
     ) -> Self {
-        assert!(!pairs.is_empty(), "a job runs on at least one node");
+        assert!(!before.is_empty(), "a job runs on at least one node");
+        assert_eq!(
+            before.len(),
+            after.len(),
+            "prologue and epilogue must cover the same nodes"
+        );
         assert!(end > start, "job window must be positive");
         let mut total = CounterDelta::zero(selection.len());
-        for (before, after) in pairs {
-            total.accumulate(&CounterDelta::between(before, after));
+        for (b, a) in before.iter().zip(after) {
+            total.accumulate(&CounterDelta::between(b, a));
         }
         let rates = RateReport::from_delta(selection, &total, end - start);
         JobCounterReport {
             job_id,
-            nodes: pairs.len() as u32,
+            nodes: before.len() as u32,
             start,
             end,
             total,
@@ -91,10 +100,11 @@ mod tests {
         seconds: f64,
     ) -> JobCounterReport {
         let sel = nas_selection();
-        let mut pairs = Vec::new();
+        let mut before = Vec::new();
+        let mut after = Vec::new();
         for _ in 0..n_nodes {
             let mut hpm = Hpm::new(sel.clone());
-            let before = hpm.snapshot();
+            before.push(hpm.snapshot());
             let mut u = EventSet::new();
             u.bump(Signal::Fpu0Fma, user_fma_per_node);
             u.bump(Signal::Fpu0Add, user_fma_per_node);
@@ -103,9 +113,9 @@ mod tests {
             let mut s = EventSet::new();
             s.bump(Signal::Fxu0Exec, sys_fxu_per_node);
             hpm.absorb(&s, Mode::System);
-            pairs.push((before, hpm.snapshot()));
+            after.push(hpm.snapshot());
         }
-        JobCounterReport::from_snapshots(&sel, 7, 100.0, 100.0 + seconds, &pairs)
+        JobCounterReport::from_snapshots(&sel, 7, 100.0, 100.0 + seconds, &before, &after)
     }
 
     #[test]
@@ -130,7 +140,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one node")]
     fn empty_job_rejected() {
-        JobCounterReport::from_snapshots(&nas_selection(), 1, 0.0, 1.0, &[]);
+        JobCounterReport::from_snapshots(&nas_selection(), 1, 0.0, 1.0, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_batches_rejected() {
+        let sel = nas_selection();
+        let hpm = Hpm::new(sel.clone());
+        let s = hpm.snapshot();
+        JobCounterReport::from_snapshots(&sel, 1, 0.0, 1.0, &[s.clone(), s.clone()], &[s]);
     }
 
     #[test]
@@ -138,7 +157,6 @@ mod tests {
     fn inverted_window_rejected() {
         let sel = nas_selection();
         let hpm = Hpm::new(sel.clone());
-        let p = (hpm.snapshot(), hpm.snapshot());
-        JobCounterReport::from_snapshots(&sel, 1, 10.0, 10.0, &[p]);
+        JobCounterReport::from_snapshots(&sel, 1, 10.0, 10.0, &[hpm.snapshot()], &[hpm.snapshot()]);
     }
 }

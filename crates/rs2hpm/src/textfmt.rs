@@ -181,8 +181,8 @@ mod tests {
         let mut s = EventSet::new();
         s.bump(Signal::Fxu0Exec, 55_555);
         hpm.absorb(&s, Mode::System);
-        let pairs = vec![(before, hpm.snapshot())];
-        let report = JobCounterReport::from_snapshots(&sel, 42, 100.0, 3700.0, &pairs);
+        let report =
+            JobCounterReport::from_snapshots(&sel, 42, 100.0, 3700.0, &[before], &[hpm.snapshot()]);
         (report, sel)
     }
 

@@ -73,22 +73,28 @@ fn main() {
         // Prologue snapshots, run, epilogue snapshots.
         let start = now;
         let end = now + walltime;
-        let mut pairs = Vec::new();
+        let mut prologue = Vec::new();
         for &n in &job.nodes {
-            let before = nodes[n].snapshot_at(start);
+            prologue.push(nodes[n].snapshot_at(start));
             nodes[n].set_activity(start, Some(plan.clone()));
-            pairs.push((n, before));
         }
-        let pairs: Vec<_> = pairs
-            .into_iter()
-            .map(|(n, before)| {
+        let epilogue: Vec<_> = job
+            .nodes
+            .iter()
+            .map(|&n| {
                 let after = nodes[n].snapshot_at(end);
                 nodes[n].set_activity(end, None);
-                (before, after)
+                after
             })
             .collect();
-        let report =
-            JobCounterReport::from_snapshots(&selection, job.spec.id.0, start, end, &pairs);
+        let report = JobCounterReport::from_snapshots(
+            &selection,
+            job.spec.id.0,
+            start,
+            end,
+            &prologue,
+            &epilogue,
+        );
         pbs.finish(job.spec.id, end).expect("job is running");
         now = end;
 

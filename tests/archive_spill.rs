@@ -96,3 +96,68 @@ fn multi_month_campaign_aggregates_in_bounded_memory() {
         "spill+archive is lossless"
     );
 }
+
+#[test]
+fn spill_max_run_tunes_residency_without_changing_results() {
+    const DAYS: u32 = 20;
+    let config = ClusterConfig::builder()
+        .nodes(16)
+        .drain_threshold(8)
+        .build()
+        .expect("valid config");
+    let library = WorkloadLibrary::build(&config.machine, 42);
+
+    let run = |cap: Option<usize>| {
+        let mut engine = EngineConfig::default().threads(1);
+        if let Some(cap) = cap {
+            engine = engine.spill_max_run(cap);
+        }
+        let mut meter = Meter {
+            inner: Vec::new(),
+            total: 0,
+            max_batch: 0,
+            drains: 0,
+        };
+        run_campaign_cfg_spill(
+            &config,
+            &library,
+            &[],
+            DAYS,
+            &FaultPlan::none(),
+            &engine,
+            None,
+            Some(&mut meter),
+        )
+        .expect("spilling campaign runs");
+        meter
+    };
+
+    let default_cap = run(None);
+    let tight = run(Some(12));
+    let expected = DAYS as usize * 96 + 1;
+    assert_eq!(default_cap.total, expected);
+    assert_eq!(tight.total, expected);
+    // The tuned cap bounds per-drain residency to the configured run
+    // length, at the cost of more (shorter) elided runs.
+    assert!(
+        tight.max_batch <= 12,
+        "tuned cap holds: {}",
+        tight.max_batch
+    );
+    assert!(
+        default_cap.max_batch > 12,
+        "default cap gathers longer runs"
+    );
+    // Splitting steady runs is results-neutral: the spilled series is
+    // identical sample for sample.
+    assert_eq!(
+        tight.inner, default_cap.inner,
+        "spill cap never changes the samples"
+    );
+}
+
+#[test]
+#[should_panic(expected = "spill_max_run must be at least 2")]
+fn spill_max_run_rejects_degenerate_cap() {
+    let _ = EngineConfig::default().spill_max_run(1);
+}
