@@ -27,6 +27,7 @@ pub mod faults;
 pub mod metrics;
 pub mod paging;
 pub mod result;
+pub mod rotate;
 pub mod sim;
 pub mod state;
 
@@ -35,6 +36,7 @@ pub use engine::{EngineConfig, EngineKind, NodeBank};
 pub use faults::{FaultPlan, Outage};
 pub use paging::PagingModel;
 pub use result::{CampaignResult, FaultSummary};
+pub use rotate::{plan_signals, plan_signals_with_passes, run_campaign_rotated, RotatedCampaign};
 pub use sim::{
     run_campaign, run_campaign_cfg, run_campaign_cfg_cancellable, run_campaign_cfg_spill,
     run_campaign_with_threads, run_replications, CampaignError, CancelToken, ClusterConfig,

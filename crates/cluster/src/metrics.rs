@@ -45,6 +45,30 @@ pub static FAULT_SWEEP: Timer = Timer::new("cluster.phase.faults");
 /// Rayon workers available to the engine when the campaign started.
 pub static RAYON_THREADS: Gauge = Gauge::new("cluster.rayon_threads");
 
+/// Wall time spent planning counter-group pass sequences.
+pub static PLAN: Timer = Timer::new("cluster.phase.plan");
+
+/// Wall time of rotated-campaign passes (one span per planned pass).
+pub static ROTATE: Timer = Timer::new("cluster.phase.rotate");
+
+/// Passes executed by rotated campaigns.
+pub static ROTATE_PASSES: Counter = Counter::new("cluster.rotate_passes");
+
+/// Latest sweep's dispatch-bound fraction of cycles, in percent.
+pub static TOPLEV_DISPATCH: Gauge = Gauge::new("cluster.toplev.dispatch");
+
+/// Latest sweep's FPU-bound fraction of cycles, in percent.
+pub static TOPLEV_FPU: Gauge = Gauge::new("cluster.toplev.fpu");
+
+/// Latest sweep's D-cache/TLB-stall fraction of cycles, in percent.
+pub static TOPLEV_DCACHE_TLB: Gauge = Gauge::new("cluster.toplev.dcache_tlb");
+
+/// Latest sweep's I-cache-stall fraction of cycles, in percent.
+pub static TOPLEV_ICACHE: Gauge = Gauge::new("cluster.toplev.icache");
+
+/// Latest sweep's I/O-wait fraction of cycles, in percent.
+pub static TOPLEV_IO_WAIT: Gauge = Gauge::new("cluster.toplev.io_wait");
+
 /// Appends the engine's readings — including derived worker utilization
 /// and simulated-seconds-per-wall-second throughput — to `snap`.
 pub fn collect(snap: &mut MetricsSnapshot) {
@@ -59,6 +83,14 @@ pub fn collect(snap: &mut MetricsSnapshot) {
     SCHEDULE.observe(snap);
     FAULT_SWEEP.observe(snap);
     RAYON_THREADS.observe(snap);
+    PLAN.observe(snap);
+    ROTATE.observe(snap);
+    ROTATE_PASSES.observe(snap);
+    TOPLEV_DISPATCH.observe(snap);
+    TOPLEV_FPU.observe(snap);
+    TOPLEV_DCACHE_TLB.observe(snap);
+    TOPLEV_ICACHE.observe(snap);
+    TOPLEV_IO_WAIT.observe(snap);
     let workers = RAYON_THREADS.get().max(1.0);
     let advance_wall = ADVANCE.total_ns() as f64;
     snap.append(
@@ -93,6 +125,14 @@ pub fn reset() {
     SCHEDULE.reset();
     FAULT_SWEEP.reset();
     RAYON_THREADS.reset();
+    PLAN.reset();
+    ROTATE.reset();
+    ROTATE_PASSES.reset();
+    TOPLEV_DISPATCH.reset();
+    TOPLEV_FPU.reset();
+    TOPLEV_DCACHE_TLB.reset();
+    TOPLEV_ICACHE.reset();
+    TOPLEV_IO_WAIT.reset();
 }
 
 #[cfg(test)]
@@ -112,6 +152,14 @@ mod tests {
             "cluster.phase.sample",
             "cluster.phase.schedule",
             "cluster.phase.faults",
+            "cluster.phase.plan",
+            "cluster.phase.rotate",
+            "cluster.rotate_passes",
+            "cluster.toplev.dispatch",
+            "cluster.toplev.fpu",
+            "cluster.toplev.dcache_tlb",
+            "cluster.toplev.icache",
+            "cluster.toplev.io_wait",
             "cluster.worker_utilization",
             "cluster.sim_seconds_per_wall_second",
         ] {

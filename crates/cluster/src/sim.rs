@@ -19,7 +19,9 @@ use sp2_hpm::{nas_selection, CounterSelection, CounterSnapshot};
 use sp2_pbs::{JobId, JobOutcome, JobRecord, JobSpec, Pbs, PbsError};
 use sp2_power2::handler::{daemon_sample_signature, page_fault_signature};
 use sp2_power2::{KernelSignature, MachineConfig};
-use sp2_rs2hpm::{CounterSource, Daemon, JobCounterReport, SampleSink, SAMPLE_INTERVAL_S};
+use sp2_rs2hpm::{
+    BottleneckSplit, CounterSource, Daemon, JobCounterReport, SampleSink, SAMPLE_INTERVAL_S,
+};
 use sp2_switch::SwitchConfig;
 use sp2_workload::{CampaignSpec, JobMix, SubmittedJob, WorkloadLibrary};
 use std::cmp::Reverse;
@@ -181,6 +183,9 @@ pub enum CampaignError {
     /// The caller's [`SampleSink`] failed while samples were being
     /// spilled out of core (e.g. the archive's disk filled up).
     Spill(String),
+    /// A rotated campaign was given a plan with no passes (an empty
+    /// signal request plans nothing to rotate through).
+    EmptyPlan,
 }
 
 impl fmt::Display for CampaignError {
@@ -190,6 +195,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Pbs(e) => write!(f, "batch system rejected a request: {e}"),
             CampaignError::Cancelled => write!(f, "campaign cancelled"),
             CampaignError::Spill(e) => write!(f, "spilling samples failed: {e}"),
+            CampaignError::EmptyPlan => write!(f, "rotation plan has no passes"),
         }
     }
 }
@@ -562,6 +568,27 @@ pub fn run_campaign_cfg_spill(
         }
         None => run_campaign_inner(config, library, trace, days, faults, engine, cancel, spill),
     }
+}
+
+/// Publishes the newest sweep's top-down bottleneck split as live
+/// gauges (percent of cycles per category). Gated on recording so the
+/// hot loop pays nothing when tracing is off; gauges never feed back
+/// into engine state, so bit-identity between engines is unaffected.
+fn publish_toplev_gauges(selection: &CounterSelection, daemon: &Daemon) {
+    if !sp2_trace::recording() {
+        return;
+    }
+    let Some(sample) = daemon.samples().last() else {
+        return;
+    };
+    let Some(split) = BottleneckSplit::from_delta(selection, &sample.total) else {
+        return;
+    };
+    crate::metrics::TOPLEV_DISPATCH.set(split.dispatch * 100.0);
+    crate::metrics::TOPLEV_FPU.set(split.fpu * 100.0);
+    crate::metrics::TOPLEV_DCACHE_TLB.set(split.dcache_tlb * 100.0);
+    crate::metrics::TOPLEV_ICACHE.set(split.icache * 100.0);
+    crate::metrics::TOPLEV_IO_WAIT.set(split.io_wait * 100.0);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -976,6 +1003,9 @@ fn run_campaign_inner(
                         }
                         let times: Vec<f64> = run[i..].iter().map(|&(_, t2)| t2).collect();
                         daemon.fast_forward_steady(&times, &mut sweep_batch);
+                        // Replayed sweeps share one steady-state delta,
+                        // so a single gauge update covers the whole run.
+                        publish_toplev_gauges(&selection, &daemon);
                         for &(k2, t2) in &run[i..] {
                             sp2_trace::recorder::on_sweep(k2, t2);
                         }
@@ -1019,6 +1049,7 @@ fn run_campaign_inner(
                     summary.glitches += glitched.iter().filter(|&&g| !down[g]).count();
                     daemon.collect_batch(&mut sweep_batch, tt);
                     crate::metrics::SWEEPS.inc();
+                    publish_toplev_gauges(&selection, &daemon);
                     sp2_trace::recorder::on_sweep(kk, tt);
                     i += 1;
                 }

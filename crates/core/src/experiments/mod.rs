@@ -23,6 +23,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod toplev;
 
 use crate::error::Sp2Error;
 use crate::json::{Json, ToJson};
@@ -187,7 +188,7 @@ pub trait Experiment: Sync {
 /// Every experiment, in the paper's presentation order (the §7 and
 /// fault-layer extensions follow the paper's own exhibits).
 pub fn all_experiments() -> &'static [&'static dyn Experiment] {
-    static ALL: [&dyn Experiment; 13] = [
+    static ALL: [&dyn Experiment; 14] = [
         &table1::Table1Experiment,
         &table2::Table2Experiment,
         &table3::Table3Experiment,
@@ -199,6 +200,7 @@ pub fn all_experiments() -> &'static [&'static dyn Experiment] {
         &fig5::Fig5Experiment,
         &calibration::CalibrationExperiment,
         &iowait::IoWaitExperiment,
+        &toplev::ToplevExperiment,
         &availability::AvailabilityExperiment,
         &summary::SummaryExperiment,
     ];
@@ -223,11 +225,11 @@ mod registry_tests {
     #[test]
     fn registry_ids_unique_and_resolvable() {
         let all = all_experiments();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13, "experiment ids must be unique");
+        assert_eq!(ids.len(), 14, "experiment ids must be unique");
         for e in all {
             assert_eq!(experiment(e.id()).unwrap().id(), e.id());
             assert!(!e.title().is_empty());

@@ -1,0 +1,228 @@
+//! Top-down bottleneck accounting over a campaign — the `toplev`
+//! experiment.
+//!
+//! Re-reads the campaign's counter totals as a hierarchical cycle
+//! accounting (where did the machine's cycles go?) instead of the
+//! paper's flat rates, and exercises the counter-group scheduler both
+//! ways Table 1 motivates it:
+//!
+//! - **Table 1, re-derived**: planning the campaign's own 22-signal
+//!   request reproduces the campaign selection in a single pass — the
+//!   NAS selection is exactly what the minimal scheduler emits for its
+//!   signal set, so the paper's hand-built Table 1 falls out of the
+//!   planner automatically.
+//! - **Beyond 22 signals**: planning the full 28-signal space needs two
+//!   passes, the schedule a rotated campaign would multiplex across
+//!   daemon sweeps (see [`sp2_cluster::run_campaign_rotated`]).
+//!
+//! Because the campaign fits its selection in one pass, the
+//! single-pass reconstruction must be exact: every estimate is the
+//! untouched observed count and the multiplexing error is exactly zero
+//! (`max_error: 0` in the JSON — CI greps for it).
+
+use crate::error::Sp2Error;
+use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
+use crate::json::Json;
+use crate::toplev::{
+    bottleneck_tree, campaign_signal_totals, plan_json, reconstruction_json, render_plan,
+    render_reconstruction, TreeNode, SCHEMA,
+};
+use sp2_cluster::CampaignResult;
+use sp2_hpm::{SchedulePlan, Signal};
+use sp2_rs2hpm::{reconstruct, BottleneckSplit, Reconstruction};
+
+/// The toplev dataset: the bottleneck tree plus the scheduler's two
+/// plans and the exactness proof of the single-pass reconstruction.
+#[derive(Debug, Clone)]
+pub struct ToplevReport {
+    /// The hierarchical cycle accounting.
+    pub tree: TreeNode,
+    /// Minimal plan for the campaign's own signal request (one pass).
+    pub own_plan: SchedulePlan,
+    /// Minimal plan for the full 28-signal space (two passes).
+    pub full_plan: SchedulePlan,
+    /// Single-pass reconstruction of the campaign (error exactly 0),
+    /// when the campaign carried samples to reconstruct from.
+    pub reconstruction: Option<Reconstruction>,
+    /// Whether the planner re-derived the campaign selection exactly.
+    pub plan_matches_selection: bool,
+}
+
+/// Analyzes a campaign: totals → bottleneck split → tree, plus the
+/// scheduler plans and the single-pass reconstruction.
+pub(crate) fn run(campaign: &CampaignResult) -> Result<ToplevReport, Sp2Error> {
+    let totals = campaign_signal_totals(&campaign.selection, &campaign.samples);
+    let lookup = |sig: Signal| {
+        totals
+            .iter()
+            .find(|(s, _)| *s == sig)
+            .map_or(0.0, |&(_, v)| v)
+    };
+    let split = BottleneckSplit::from_totals(lookup).unwrap_or(BottleneckSplit {
+        cycles: 0.0,
+        io_wait: 0.0,
+        dcache_tlb: 0.0,
+        icache: 0.0,
+        fpu: 0.0,
+        dispatch: 1.0,
+        dcache_cycles: 0.0,
+        tlb_cycles: 0.0,
+        fpu0_cycles: 0.0,
+        fpu1_cycles: 0.0,
+    });
+    let tree = bottleneck_tree(&split);
+
+    let wanted: Vec<Signal> = campaign
+        .selection
+        .slots()
+        .iter()
+        .map(|s| s.signal)
+        .collect();
+    let own_plan = SchedulePlan::minimal(&wanted);
+    let full_plan = SchedulePlan::minimal(&Signal::ALL);
+    let plan_matches_selection =
+        own_plan.is_single_pass() && own_plan.passes()[0] == campaign.selection;
+
+    // The reconstruction indexes sample slots through the plan's pass
+    // selection, so it is only meaningful when the planner re-derived
+    // the selection the samples were recorded under (it always does for
+    // the registered selections; an empty campaign has nothing to
+    // reconstruct).
+    let reconstruction = if plan_matches_selection && campaign.samples.len() > 1 {
+        reconstruct(&own_plan, &[campaign.samples.as_slice()])
+            .map_err(|e| Sp2Error::Protocol(format!("single-pass reconstruction: {e}")))
+            .map(Some)?
+    } else {
+        None
+    };
+
+    Ok(ToplevReport {
+        tree,
+        own_plan,
+        full_plan,
+        reconstruction,
+        plan_matches_selection,
+    })
+}
+
+impl ToplevReport {
+    /// Renders the tree, the two plans, and the reconstruction summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Top-down bottleneck accounting (share of measured cycles)\n");
+        out.push_str(&self.tree.render());
+        out.push('\n');
+        out.push_str(&format!(
+            "Table 1, re-derived: the campaign's {}-signal request plans to {} pass(es); \
+             planner output matches the hand-built selection: {}\n",
+            self.own_plan.requested().len(),
+            self.own_plan.n_passes(),
+            self.plan_matches_selection,
+        ));
+        out.push('\n');
+        out.push_str(&render_plan(&self.full_plan));
+        if let Some(recon) = &self.reconstruction {
+            out.push('\n');
+            out.push_str(&render_reconstruction(recon));
+            out.push_str(&format!(
+                "single-pass exactness: max multiplexing error {} (coverage {:.0} %)\n",
+                recon.max_error(),
+                recon.min_coverage() * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// The `sp2-toplev/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .field("schema", SCHEMA)
+            .field("tree", self.tree.to_json())
+            .field("own_plan", plan_json(&self.own_plan))
+            .field("full_plan", plan_json(&self.full_plan))
+            .field("plan_matches_selection", self.plan_matches_selection);
+        if let Some(recon) = &self.reconstruction {
+            doc = doc
+                .field("max_error", recon.max_error())
+                .field("reconstruction", reconstruction_json(recon));
+        }
+        doc
+    }
+}
+
+/// Registry entry for the top-down accounting. Runs under the io-aware
+/// selection so the I/O-wait category is measured rather than zero.
+pub struct ToplevExperiment;
+
+impl Experiment for ToplevExperiment {
+    fn id(&self) -> &'static str {
+        "toplev"
+    }
+
+    fn title(&self) -> &'static str {
+        "Top-down bottleneck accounting with the counter-group scheduler"
+    }
+
+    fn selection(&self) -> SelectionKind {
+        SelectionKind::IoAware
+    }
+
+    fn run(&self, input: ExperimentInput<'_>) -> Result<Dataset, Sp2Error> {
+        let r = run(input.campaign)?;
+        Ok(Dataset::assemble(
+            self.id(),
+            self.title(),
+            r.render(),
+            r.to_json(),
+            &input,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Sp2System;
+    use sp2_cluster::ClusterConfig;
+    use sp2_hpm::io_aware_selection;
+
+    #[test]
+    fn toplev_accounts_every_cycle_with_exact_single_pass() {
+        let config = ClusterConfig::builder()
+            .selection(io_aware_selection())
+            .build()
+            .expect("valid config");
+        let mut sys = Sp2System::builder().config(config).days(2).build();
+        let report = run(sys.campaign().expect("campaign runs")).expect("analyzes");
+        assert!(report.plan_matches_selection, "planner re-derives Table 1");
+        assert_eq!(report.full_plan.n_passes(), 2);
+        let sum: f64 = report.tree.children.iter().map(|c| c.percent).sum();
+        assert!(
+            100.0f64.to_bits().abs_diff(sum.to_bits()) <= 1,
+            "level-1 sum {sum}"
+        );
+        let recon = report.reconstruction.as_ref().expect("reconstructs");
+        assert_eq!(recon.max_error(), 0.0);
+        assert_eq!(recon.min_coverage(), 1.0);
+        let json = report.to_json().to_string_pretty();
+        assert!(json.contains("\"schema\": \"sp2-toplev/v1\""), "{json}");
+        assert!(json.contains("\"max_error\": 0"), "{json}");
+        let text = report.render();
+        assert!(text.contains("dispatch-bound"));
+        assert!(text.contains("io-wait"));
+    }
+
+    #[test]
+    fn empty_campaign_renders_a_degenerate_tree() {
+        use sp2_power2::MachineConfig;
+        let empty = CampaignResult::empty(MachineConfig::nas_sp2(), io_aware_selection());
+        let report = run(&empty).expect("handles empty");
+        assert!(report.reconstruction.is_none());
+        let dispatch = report
+            .tree
+            .children
+            .iter()
+            .find(|c| c.name == "dispatch-bound")
+            .expect("residual present");
+        assert_eq!(dispatch.percent, 100.0);
+    }
+}

@@ -25,6 +25,7 @@
 //! | `fig5` | performance vs system intervention |
 //! | `calibration` | §5 reference kernels (240 Mflops matmul etc.) |
 //! | `iowait` | §7 extension: measured I/O-wait attribution |
+//! | `toplev` | top-down bottleneck accounting + counter-group scheduler |
 //! | `availability` | fault impact and measurement error vs a twin |
 //! | `summary` | headline statistics vs the paper |
 //!
@@ -57,6 +58,7 @@ pub mod serve;
 pub mod submission;
 pub mod system;
 pub mod timeline;
+pub mod toplev;
 
 pub use archive::{ArchiveCodec, ArchiveReader, ArchiveWriter, ColumnarCodec, TextCodec};
 pub use compare::{CompareOutcome, CompareReport, Tolerance};

@@ -16,7 +16,7 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"submit","submission":{…sp2-submission/v1…},"wait":bool}
-//! {"op":"status","job":"<digest prefix>"}
+//! {"op":"status","job":"<digest prefix>","live":bool}
 //! {"op":"list"}
 //! {"op":"fetch","job":"<digest prefix>"}
 //! {"op":"cancel","job":"<digest prefix>"}
@@ -712,6 +712,23 @@ fn handle_request(
                 if let Some(m) = message {
                     doc = doc.field("error", m);
                 }
+                // `"live": true` asks for a snapshot of the daemon
+                // itself alongside the job row: queue depth, engine
+                // sweep progress, and — when the daemon runs with
+                // instrumentation on — the full live metrics document.
+                if matches!(req.get("live"), Some(Json::Bool(true))) {
+                    let mut live = Json::obj()
+                        .field("queue_depth", inner.lock_queue().len())
+                        .field("sweeps", sp2_cluster::metrics::SWEEPS.get() as f64)
+                        .field(
+                            "sweeps_elided",
+                            sp2_cluster::metrics::SWEEPS_ELIDED.get() as f64,
+                        );
+                    if sp2_trace::enabled() {
+                        live = live.field("metrics", metrics::to_json(&metrics::snapshot()));
+                    }
+                    doc = doc.field("live", live);
+                }
                 write_line(w, &doc)
             }
         },
@@ -1101,6 +1118,22 @@ mod tests {
             list.get("jobs").and_then(Json::as_arr).map(<[_]>::len),
             Some(1)
         );
+
+        // Plain status carries no daemon snapshot; `"live": true` adds
+        // queue depth and engine sweep progress.
+        assert!(status.get("live").is_none());
+        let live_status = client
+            .request(
+                &Json::obj()
+                    .field("op", "status")
+                    .field("job", &sub.digest_hex()[..8])
+                    .field("live", true),
+            )
+            .expect("live status");
+        let live = live_status.get("live").expect("live snapshot present");
+        assert_eq!(live.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+        assert!(live.get("sweeps").and_then(Json::as_f64).is_some());
+        assert!(live.get("sweeps_elided").and_then(Json::as_f64).is_some());
 
         server.shutdown().expect("clean shutdown");
     }

@@ -3,9 +3,10 @@
 use crate::error::Sp2Error;
 use crate::experiments::{Dataset, Experiment, ExperimentInput, SelectionKind};
 use sp2_cluster::{
-    run_campaign_cfg_cancellable, run_replications, CampaignResult, CancelToken, ClusterConfig,
-    EngineConfig, FaultPlan,
+    run_campaign_cfg_cancellable, run_campaign_rotated, run_replications, CampaignResult,
+    CancelToken, ClusterConfig, EngineConfig, FaultPlan, RotatedCampaign,
 };
+use sp2_hpm::SchedulePlan;
 use sp2_power2::FastForward;
 use sp2_workload::{trace, CampaignSpec, JobMix, WorkloadLibrary};
 use std::collections::HashMap;
@@ -344,6 +345,34 @@ impl Sp2System {
         )?;
         self.campaigns.insert((kind, faulted), result);
         Ok(())
+    }
+
+    /// Runs a rotated campaign: one lockstep campaign per pass of
+    /// `plan`, with the configured trace, faults, and engine — the
+    /// multiplexed path for signal requests wider than one counter
+    /// selection (see [`sp2_cluster::run_campaign_rotated`]). Not
+    /// cached: the plan, not the system's selection, keys the result.
+    pub fn rotated_campaign(&self, plan: &SchedulePlan) -> Result<RotatedCampaign, Sp2Error> {
+        let jobs = trace::generate(&self.spec, &self.mix, &self.library);
+        let faults = if self.faulted() {
+            self.fault_plan()
+        } else {
+            FaultPlan::none()
+        };
+        let engine = EngineConfig {
+            threads: Some(self.engine.threads.unwrap_or(self.threads)),
+            ..self.engine
+        };
+        Ok(run_campaign_rotated(
+            &self.config,
+            &self.library,
+            &jobs,
+            self.spec.days,
+            &faults,
+            &engine,
+            plan,
+            self.cancel.as_deref(),
+        )?)
     }
 
     /// Runs one experiment, providing whatever input it declares it

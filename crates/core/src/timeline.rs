@@ -174,7 +174,7 @@ fn sparkline(values: &[f64]) -> String {
 /// campaign phases (per-interval milliseconds), then throughput and
 /// utilization readings. Everything here exists in every aggregate
 /// snapshot, so the render never depends on workload specifics.
-const TIMELINE_ROWS: [(&str, &str); 10] = [
+const TIMELINE_ROWS: [(&str, &str); 15] = [
     ("cluster.phase.advance", "phase advance (ms)"),
     ("cluster.phase.sample", "phase sample (ms)"),
     ("cluster.phase.schedule", "phase schedule (ms)"),
@@ -185,6 +185,11 @@ const TIMELINE_ROWS: [(&str, &str); 10] = [
     ("pbs.jobs_started", "jobs started"),
     ("pbs.queue_depth", "queue depth"),
     ("cluster.worker_utilization", "worker utilization"),
+    ("cluster.toplev.dispatch", "toplev dispatch (%)"),
+    ("cluster.toplev.fpu", "toplev fpu (%)"),
+    ("cluster.toplev.dcache_tlb", "toplev dcache+tlb (%)"),
+    ("cluster.toplev.icache", "toplev icache (%)"),
+    ("cluster.toplev.io_wait", "toplev io-wait (%)"),
 ];
 
 /// Renders the recorded history as aligned sparkline rows — the

@@ -1,0 +1,317 @@
+//! Top-down bottleneck accounting: where did the machine's cycles go?
+//!
+//! The paper reads Table 1's counters as flat rates; this module folds
+//! the same counters into a hierarchical accounting in the spirit of
+//! modern top-down analysis. Every measured cycle lands in exactly one
+//! top-level category — I/O wait, D-cache/TLB stalls, I-cache stalls,
+//! FPU-bound execution, or the dispatch-bound residual — and stall
+//! categories split further from the raw penalty-cycle attribution
+//! ([`sp2_rs2hpm::BottleneckSplit`] owns the penalty model).
+//!
+//! The arithmetic is residual-in-percent-space: the measured categories
+//! are converted to percent once, and the last sibling at every level
+//! absorbs the remainder, so each level sums to 100 % (or to its
+//! parent's percentage) within one ulp *by construction* — the property
+//! `tests/toplev.rs` pins down.
+
+use crate::json::Json;
+use sp2_hpm::{SchedulePlan, Signal};
+use sp2_rs2hpm::{BottleneckSplit, Reconstruction};
+use std::fmt::Write as _;
+
+/// Identifies the toplev JSON layout for downstream tooling.
+pub const SCHEMA: &str = "sp2-toplev/v1";
+
+/// One node of the bottleneck tree: a category name, its share of the
+/// machine's cycles in percent, and its sub-categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Category name (`cycles`, `io-wait`, `dcache-miss`, …).
+    pub name: &'static str,
+    /// Share of all measured cycles, in percent.
+    pub percent: f64,
+    /// Sub-categories; their percentages sum to this node's within an
+    /// ulp.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    fn leaf(name: &'static str, percent: f64) -> TreeNode {
+        TreeNode {
+            name,
+            percent,
+            children: Vec::new(),
+        }
+    }
+
+    /// Renders the tree as an indented percentage listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let label = format!("{}{}", "  ".repeat(depth), self.name);
+        let _ = writeln!(out, "{label:<24} {:6.2} %", self.percent);
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+
+    /// The tree as a recursive JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name)
+            .field("percent", self.percent)
+            .field(
+                "children",
+                Json::Arr(self.children.iter().map(TreeNode::to_json).collect()),
+            )
+    }
+}
+
+/// Splits `parent` percent between two sub-categories in proportion to
+/// their raw cycle attributions; the second is the residual so the pair
+/// sums to `parent` within an ulp. A zero denominator puts everything
+/// in the residual.
+fn split_pair(parent: f64, a: f64, b: f64) -> (f64, f64) {
+    let denom = a + b;
+    if denom > 0.0 {
+        let first = parent * (a / denom);
+        (first, parent - first)
+    } else {
+        (0.0, parent)
+    }
+}
+
+/// Folds a [`BottleneckSplit`] into the two-level bottleneck tree.
+pub fn bottleneck_tree(split: &BottleneckSplit) -> TreeNode {
+    let io = split.io_wait * 100.0;
+    let dctlb = split.dcache_tlb * 100.0;
+    let icache = split.icache * 100.0;
+    let fpu = split.fpu * 100.0;
+    // Residual in percent space: converting each fraction separately
+    // could make the level drift off 100 by several ulps, so only the
+    // four measured categories are converted and dispatch absorbs the
+    // remainder.
+    let dispatch = 100.0 - (((io + dctlb) + icache) + fpu);
+    let (dcache, tlb) = split_pair(dctlb, split.dcache_cycles, split.tlb_cycles);
+    let (fpu0, fpu1) = split_pair(fpu, split.fpu0_cycles, split.fpu1_cycles);
+    TreeNode {
+        name: "cycles",
+        percent: 100.0,
+        children: vec![
+            TreeNode::leaf("io-wait", io),
+            TreeNode {
+                name: "dcache-tlb-stall",
+                percent: dctlb,
+                children: vec![
+                    TreeNode::leaf("dcache-miss", dcache),
+                    TreeNode::leaf("tlb-miss", tlb),
+                ],
+            },
+            TreeNode::leaf("icache-stall", icache),
+            TreeNode {
+                name: "fpu-bound",
+                percent: fpu,
+                children: vec![TreeNode::leaf("fpu0", fpu0), TreeNode::leaf("fpu1", fpu1)],
+            },
+            TreeNode::leaf("dispatch-bound", dispatch),
+        ],
+    }
+}
+
+/// Renders a [`SchedulePlan`] as a pass-by-pass slot listing.
+pub fn render_plan(plan: &SchedulePlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "counter-group schedule: {} signal(s) in {} pass(es)",
+        plan.requested().len(),
+        plan.n_passes(),
+    );
+    for (p, sel) in plan.passes().iter().enumerate() {
+        let _ = writeln!(out, "pass {p} ({} slot(s) filled)", sel.len());
+        for slot in sel.slots() {
+            let _ = writeln!(out, "  {:<8} {}", slot.label(), slot.signal.rs2hpm_label());
+        }
+    }
+    out
+}
+
+/// The plan as JSON: pass count, request size, and per-pass slot lists.
+pub fn plan_json(plan: &SchedulePlan) -> Json {
+    Json::obj()
+        .field("n_passes", plan.n_passes() as u64)
+        .field("requested", plan.requested().len() as u64)
+        .field(
+            "passes",
+            Json::Arr(
+                plan.passes()
+                    .iter()
+                    .map(|sel| {
+                        Json::Arr(
+                            sel.slots()
+                                .iter()
+                                .map(|s| {
+                                    Json::obj()
+                                        .field("slot", s.label())
+                                        .field("signal", s.signal.rs2hpm_label())
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Renders a [`Reconstruction`] as a per-signal coverage/error table.
+pub fn render_reconstruction(recon: &Reconstruction) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "multiplexed reconstruction over {} interval(s) ({:.0} s)",
+        recon.intervals, recon.total_seconds,
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>16} {:>9} {:>10}",
+        "signal", "estimate", "coverage", "error"
+    );
+    for est in &recon.estimates {
+        let error = if est.error.is_finite() {
+            format!("{:.4}", est.error)
+        } else {
+            "inf".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>16.0} {:>8.0} % {:>10}",
+            est.signal.rs2hpm_label(),
+            est.estimate,
+            est.coverage * 100.0,
+            error,
+        );
+    }
+    out
+}
+
+/// The reconstruction as JSON: interval count, summary error/coverage,
+/// and the per-signal estimates (infinite error bounds become `null`,
+/// JSON having no infinity).
+pub fn reconstruction_json(recon: &Reconstruction) -> Json {
+    Json::obj()
+        .field("intervals", recon.intervals as u64)
+        .field("total_seconds", recon.total_seconds)
+        .field("max_error", recon.max_error())
+        .field("min_coverage", recon.min_coverage())
+        .field(
+            "signals",
+            Json::Arr(
+                recon
+                    .estimates
+                    .iter()
+                    .map(|e| {
+                        Json::obj()
+                            .field("signal", e.signal.rs2hpm_label())
+                            .field("observed", e.observed as f64)
+                            .field("estimate", e.estimate)
+                            .field("rate", e.rate)
+                            .field("coverage", e.coverage)
+                            .field("error", e.error)
+                            .field("lo", e.lo)
+                            .field("hi", e.hi)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Builds a cycle lookup over a campaign: total user+system events per
+/// signal, summed across every daemon sample (the slot hardware counts
+/// both modes; I/O wait only ever ticks in system mode).
+pub fn campaign_signal_totals(
+    selection: &sp2_hpm::CounterSelection,
+    samples: &[sp2_rs2hpm::SystemSample],
+) -> Vec<(Signal, f64)> {
+    selection
+        .slots()
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let sum: f64 = samples
+                .iter()
+                .map(|s| (s.total.user[i] + s.total.system[i]) as f64)
+                .sum();
+            (slot.signal, sum)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split() -> BottleneckSplit {
+        BottleneckSplit {
+            cycles: 1_000_000.0,
+            io_wait: 0.03,
+            dcache_tlb: 0.21,
+            icache: 0.02,
+            fpu: 0.31,
+            dispatch: 0.43,
+            dcache_cycles: 160_000.0,
+            tlb_cycles: 50_000.0,
+            fpu0_cycles: 200_000.0,
+            fpu1_cycles: 110_000.0,
+        }
+    }
+
+    fn assert_ulp_sum(children: &[TreeNode], expected: f64) {
+        let sum: f64 = children.iter().map(|c| c.percent).sum();
+        let ulp = expected.to_bits().abs_diff(sum.to_bits());
+        assert!(ulp <= 1, "sum {sum} vs {expected}: {ulp} ulps apart");
+    }
+
+    #[test]
+    fn tree_levels_sum_to_their_parent_within_an_ulp() {
+        let tree = bottleneck_tree(&split());
+        assert_eq!(tree.percent, 100.0);
+        assert_ulp_sum(&tree.children, 100.0);
+        for node in &tree.children {
+            if !node.children.is_empty() {
+                assert_ulp_sum(&node.children, node.percent);
+            }
+        }
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let text = bottleneck_tree(&split()).render();
+        assert!(text.starts_with("cycles"));
+        assert!(text.contains("\n  io-wait"));
+        assert!(text.contains("\n    dcache-miss"));
+        assert!(text.contains("dispatch-bound"));
+    }
+
+    #[test]
+    fn zero_denominator_puts_everything_in_the_residual() {
+        let (a, b) = split_pair(12.5, 0.0, 0.0);
+        assert_eq!(a, 0.0);
+        assert_eq!(b, 12.5);
+    }
+
+    #[test]
+    fn plan_json_lists_every_pass() {
+        let plan = SchedulePlan::minimal(&Signal::ALL);
+        let doc = plan_json(&plan);
+        assert_eq!(doc.get("n_passes").and_then(Json::as_f64), Some(2.0));
+        let passes = doc.get("passes").and_then(Json::as_arr).expect("passes");
+        assert_eq!(passes.len(), 2);
+        let text = render_plan(&plan);
+        assert!(text.contains("2 pass(es)"));
+        assert!(text.contains("pass 1"));
+    }
+}

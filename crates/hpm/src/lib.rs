@@ -14,7 +14,10 @@
 //!   including the divide-count erratum the paper reports;
 //! - the NAS Table-1 counter selection ([`config::nas_selection`]);
 //! - multipass sampling ([`sampling`]) for watching more signals than the
-//!   hardware has slots, as the RS2HPM tools did.
+//!   hardware has slots, as the RS2HPM tools did;
+//! - the counter-group scheduler ([`scheduler`]) that plans minimal
+//!   multipass rotations for arbitrary signal requests — the paper's
+//!   manual Table-1 selection process, automated.
 
 #![cfg_attr(
     not(test),
@@ -25,9 +28,11 @@ pub mod bank;
 pub mod config;
 pub mod events;
 pub mod sampling;
+pub mod scheduler;
 pub mod signal;
 
 pub use bank::{CounterDelta, CounterSnapshot, Hpm, Mode};
 pub use config::{io_aware_selection, nas_selection, CounterSelection, SlotSpec};
 pub use events::EventSet;
+pub use scheduler::{PlanError, SchedulePlan};
 pub use signal::{Signal, SignalGroup};

@@ -8,7 +8,8 @@
 
 use crate::config::CounterSelection;
 use crate::events::EventSet;
-use crate::signal::{Signal, SignalGroup};
+use crate::scheduler::SchedulePlan;
+use crate::signal::Signal;
 use std::collections::HashMap;
 
 /// A rotation of counter selections that together cover a signal list.
@@ -20,60 +21,24 @@ pub struct MultipassPlan {
 }
 
 impl MultipassPlan {
-    /// Plans passes covering `wanted`. Signals are packed greedily per
-    /// group: each pass takes up to `group.slots()` not-yet-covered
-    /// signals from every group, so the number of passes equals the
-    /// largest ⌈wanted-in-group / slots⌉ over groups.
+    /// Plans passes covering `wanted`. Delegates to the counter-group
+    /// scheduler ([`SchedulePlan::minimal`]): each pass takes up to
+    /// `group.slots()` signals from every group under a rotation, so the
+    /// number of passes equals the largest ⌈wanted-in-group / slots⌉
+    /// over groups.
     ///
     /// Duplicate signals are covered once.
     pub fn plan(wanted: &[Signal]) -> Self {
-        let mut per_group: HashMap<SignalGroup, Vec<Signal>> = HashMap::new();
-        let mut seen = std::collections::HashSet::new();
-        for &s in wanted {
-            if seen.insert(s) {
-                per_group.entry(s.group()).or_default().push(s);
-            }
-        }
-        let n_passes = per_group
+        let plan = SchedulePlan::minimal(wanted);
+        let coverage = plan
+            .requested()
             .iter()
-            .map(|(g, v)| v.len().div_ceil(g.slots()))
-            .max()
-            .unwrap_or(0);
-        let mut passes = Vec::with_capacity(n_passes);
-        let mut coverage: HashMap<Signal, usize> = HashMap::new();
-        for p in 0..n_passes {
-            let mut assignment = Vec::new();
-            for (g, signals) in &per_group {
-                let k = g.slots();
-                // Rotate: pass p watches signals [p*k .. p*k+k) mod len,
-                // so every signal is watched in ⌈len/k⌉ of the passes at
-                // a uniform rate.
-                let len = signals.len();
-                for j in 0..k.min(len) {
-                    let idx = (p * k + j) % len;
-                    assignment.push(signals[idx]);
-                }
-            }
-            // Deduplicate within the pass (rotation can alias when
-            // len < k or len not a multiple of k).
-            let mut uniq = Vec::new();
-            for s in assignment {
-                if !uniq.contains(&s) {
-                    uniq.push(s);
-                }
-            }
-            let Ok(pass_selection) = CounterSelection::new(&uniq) else {
-                // Unreachable: the packing above takes at most `slots()`
-                // signals per group, so the selection always validates.
-                debug_assert!(false, "per-group packing respects budgets");
-                continue;
-            };
-            for &s in &uniq {
-                *coverage.entry(s).or_insert(0) += 1;
-            }
-            passes.push(pass_selection);
+            .map(|&s| (s, plan.coverage(s)))
+            .collect();
+        MultipassPlan {
+            passes: plan.passes().to_vec(),
+            coverage,
         }
-        MultipassPlan { passes, coverage }
     }
 
     /// The planned passes.

@@ -24,6 +24,7 @@
 pub mod daemon;
 pub mod jobreport;
 pub mod metrics;
+pub mod multiplex;
 pub mod rates;
 pub mod session;
 pub mod textfmt;
@@ -32,6 +33,7 @@ pub use daemon::{
     CounterSource, Daemon, SampleSink, SystemSample, PLAUSIBLE_DELTA_MAX, SAMPLE_INTERVAL_S,
 };
 pub use jobreport::JobCounterReport;
-pub use rates::RateReport;
+pub use multiplex::{reconstruct, ReconstructError, Reconstruction, SignalEstimate};
+pub use rates::{BottleneckSplit, RateReport};
 pub use session::CounterSession;
 pub use textfmt::{parse_job_report, write_job_report, ParseError};

@@ -261,6 +261,107 @@ impl RateReport {
     }
 }
 
+/// D-cache reload penalty, cycles per miss (§5 uses 8 cycles).
+pub const DCACHE_MISS_PENALTY_CYCLES: f64 = 8.0;
+/// TLB reload penalty, cycles per miss (§5 uses 45 cycles).
+pub const TLB_MISS_PENALTY_CYCLES: f64 = 45.0;
+/// I-cache reload penalty, cycles per reload (same cache-line reload
+/// machinery as the D-cache).
+pub const ICACHE_RELOAD_PENALTY_CYCLES: f64 = 8.0;
+
+/// Top-down cycle accounting: one measurement window's cycles attributed
+/// to bottleneck categories, pmu-tools/toplev style.
+///
+/// Categories are charged in a fixed order against the remaining cycle
+/// budget — I/O wait first (directly counted), then D-cache/TLB stalls
+/// (miss counts × §5's architectural penalties), then I-cache stalls,
+/// then FPU occupancy (one cycle per FPU instruction; divide latency is
+/// invisible because the erratum suppresses divide counts) — and
+/// whatever is left is **dispatch-bound**: cycles the fixed-point and
+/// dispatch machinery spent issuing, stalling, or idling. Each category
+/// is clamped so the split never exceeds the measured cycles; fractions
+/// are of total cycles. Totals combine user and system mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckSplit {
+    /// Total cycles in the window.
+    pub cycles: f64,
+    /// Fraction of cycles waiting on I/O (0 when the selection lacks the
+    /// I/O-wait signal — the paper's §7 complaint).
+    pub io_wait: f64,
+    /// Fraction stalled on D-cache and TLB reloads.
+    pub dcache_tlb: f64,
+    /// Fraction stalled on I-cache reloads.
+    pub icache: f64,
+    /// Fraction occupied by floating-point execution.
+    pub fpu: f64,
+    /// Residual fraction: dispatch/fixed-point bound.
+    pub dispatch: f64,
+    /// Unclamped D-cache stall cycles (child split of `dcache_tlb`).
+    pub dcache_cycles: f64,
+    /// Unclamped TLB stall cycles (child split of `dcache_tlb`).
+    pub tlb_cycles: f64,
+    /// FPU0 instruction cycles (child split of `fpu`).
+    pub fpu0_cycles: f64,
+    /// FPU1 instruction cycles (child split of `fpu`).
+    pub fpu1_cycles: f64,
+}
+
+impl BottleneckSplit {
+    /// Builds the split from any signal-total lookup (counter deltas,
+    /// multiplexed reconstructions, archived aggregates). Signals the
+    /// lookup reports as 0 simply contribute nothing. Returns `None`
+    /// when no cycles were measured.
+    pub fn from_totals<F: Fn(Signal) -> f64>(lookup: F) -> Option<BottleneckSplit> {
+        let cycles = lookup(Signal::Cycles);
+        if cycles <= 0.0 || cycles.is_nan() {
+            return None;
+        }
+        let io_cycles = lookup(Signal::IoWaitCycles).max(0.0);
+        let dcache_cycles = lookup(Signal::DcacheMiss).max(0.0) * DCACHE_MISS_PENALTY_CYCLES;
+        let tlb_cycles = lookup(Signal::TlbMiss).max(0.0) * TLB_MISS_PENALTY_CYCLES;
+        let icache_cycles = lookup(Signal::IcacheReload).max(0.0) * ICACHE_RELOAD_PENALTY_CYCLES;
+        let fpu0_cycles = lookup(Signal::Fpu0Exec).max(0.0);
+        let fpu1_cycles = lookup(Signal::Fpu1Exec).max(0.0);
+
+        let mut remaining = cycles;
+        let io = io_cycles.min(remaining);
+        remaining -= io;
+        let dctlb = (dcache_cycles + tlb_cycles).min(remaining);
+        remaining -= dctlb;
+        let ic = icache_cycles.min(remaining);
+        remaining -= ic;
+        let fpu = (fpu0_cycles + fpu1_cycles).min(remaining);
+        remaining -= fpu;
+
+        Some(BottleneckSplit {
+            cycles,
+            io_wait: io / cycles,
+            dcache_tlb: dctlb / cycles,
+            icache: ic / cycles,
+            fpu: fpu / cycles,
+            dispatch: remaining / cycles,
+            dcache_cycles,
+            tlb_cycles,
+            fpu0_cycles,
+            fpu1_cycles,
+        })
+    }
+
+    /// Builds the split from one wrap-corrected delta under a selection.
+    /// Unwatched signals contribute 0, exactly like [`RateReport`].
+    pub fn from_delta(
+        selection: &CounterSelection,
+        delta: &CounterDelta,
+    ) -> Option<BottleneckSplit> {
+        BottleneckSplit::from_totals(|s| {
+            selection
+                .slot_of(s)
+                .map(|i| (delta.user[i] + delta.system[i]) as f64)
+                .unwrap_or(0.0)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +496,64 @@ mod tests {
         assert_eq!(r.cache_miss_ratio(), 0.0);
         assert_eq!(r.fma_flop_fraction(), 0.0);
         assert_eq!(r.fpu0_fpu1_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn bottleneck_split_partitions_cycles() {
+        let split = BottleneckSplit::from_totals(|s| match s {
+            Signal::Cycles => 1_000_000.0,
+            Signal::DcacheMiss => 10_000.0,  // x8  =  80_000 cycles
+            Signal::TlbMiss => 1_000.0,      // x45 =  45_000 cycles
+            Signal::IcacheReload => 2_000.0, // x8  =  16_000 cycles
+            Signal::Fpu0Exec => 200_000.0,
+            Signal::Fpu1Exec => 100_000.0,
+            Signal::IoWaitCycles => 50_000.0,
+            _ => 0.0,
+        })
+        .expect("cycles present");
+        assert!((split.io_wait - 0.05).abs() < 1e-12);
+        assert!((split.dcache_tlb - 0.125).abs() < 1e-12);
+        assert!((split.icache - 0.016).abs() < 1e-12);
+        assert!((split.fpu - 0.3).abs() < 1e-12);
+        let sum = split.io_wait + split.dcache_tlb + split.icache + split.fpu + split.dispatch;
+        assert!((sum - 1.0).abs() < 1e-12, "fractions partition cycles");
+        assert!(split.dispatch > 0.0);
+    }
+
+    #[test]
+    fn bottleneck_split_clamps_to_measured_cycles() {
+        // Penalty model exceeds the cycle budget: every category clamps
+        // and dispatch hits exactly zero, never negative.
+        let split = BottleneckSplit::from_totals(|s| match s {
+            Signal::Cycles => 1_000.0,
+            Signal::DcacheMiss => 1_000.0, // x8 would be 8x the budget
+            Signal::Fpu0Exec => 500.0,
+            _ => 0.0,
+        })
+        .expect("cycles present");
+        assert_eq!(split.dcache_tlb, 1.0);
+        assert_eq!(split.fpu, 0.0, "no budget left after the stalls");
+        assert_eq!(split.dispatch, 0.0);
+    }
+
+    #[test]
+    fn bottleneck_split_requires_cycles() {
+        assert!(BottleneckSplit::from_totals(|_| 0.0).is_none());
+        // A NAS-selection delta with no cycle events is equally useless.
+        let (sel, d) = delta_of(&EventSet::new(), &EventSet::new());
+        assert!(BottleneckSplit::from_delta(&sel, &d).is_none());
+    }
+
+    #[test]
+    fn bottleneck_split_from_delta_reads_both_modes() {
+        let mut user = EventSet::new();
+        user.set(Signal::Cycles, 800);
+        let mut sys = EventSet::new();
+        sys.set(Signal::Cycles, 200);
+        sys.set(Signal::Fxu0Exec, 10);
+        let (sel, d) = delta_of(&user, &sys);
+        let split = BottleneckSplit::from_delta(&sel, &d).expect("cycles present");
+        assert_eq!(split.cycles, 1_000.0, "user + system cycles combined");
+        assert_eq!(split.dispatch, 1.0);
     }
 }

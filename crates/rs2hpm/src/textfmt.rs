@@ -25,6 +25,16 @@ pub enum ParseError {
     BadField(String),
     /// A counter line does not match the selection or is malformed.
     BadCounter(String),
+    /// A counter line's slot label exists but its signal name belongs to
+    /// a different counter selection than the parser was given.
+    SelectionMismatch {
+        /// The slot label on the offending line.
+        label: String,
+        /// The signal name the line carries.
+        found: String,
+        /// The signal name the selection expects in that slot.
+        expected: String,
+    },
     /// The report does not cover every slot of the selection.
     MissingCounters(usize),
 }
@@ -35,6 +45,15 @@ impl std::fmt::Display for ParseError {
             ParseError::BadHeader(l) => write!(f, "bad header: {l}"),
             ParseError::BadField(l) => write!(f, "bad field: {l}"),
             ParseError::BadCounter(l) => write!(f, "bad counter line: {l}"),
+            ParseError::SelectionMismatch {
+                label,
+                found,
+                expected,
+            } => write!(
+                f,
+                "slot {label} counts {found} but the selection expects {expected}: \
+                 report written under a different counter selection"
+            ),
             ParseError::MissingCounters(n) => write!(f, "only {n} counter lines present"),
         }
     }
@@ -129,7 +148,7 @@ pub fn parse_job_report(
         let label = parts
             .next()
             .ok_or_else(|| ParseError::BadCounter(line.into()))?;
-        let _name = parts
+        let name = parts
             .next()
             .ok_or_else(|| ParseError::BadCounter(line.into()))?;
         let user = parts
@@ -147,6 +166,18 @@ pub fn parse_job_report(
             .iter()
             .position(|s| s.label() == label)
             .ok_or_else(|| ParseError::BadCounter(format!("unknown slot {label}")))?;
+        // A structurally valid line can still come from a report written
+        // under a *different* selection (same slot layout, different
+        // signals) — silently accepting it would attach another signal's
+        // counts to this slot. Verify the signal name.
+        let expected = selection.slots()[slot].signal.rs2hpm_label();
+        if name != expected {
+            return Err(ParseError::SelectionMismatch {
+                label: label.to_string(),
+                found: name.to_string(),
+                expected: expected.to_string(),
+            });
+        }
         total.user[slot] = user;
         total.system[slot] = system;
         seen += 1;
@@ -262,16 +293,31 @@ mod tests {
         let (report, sel) = sample_report();
         let text = write_job_report(&report, &sel);
         let io_sel = sp2_hpm::io_aware_selection();
-        // Same slot count but different signals: the SCU[2] label parses
-        // but the io-aware selection's rates differ. Stricter: a report
-        // with a different counters count is rejected outright.
+        // A report with a different counters count is rejected outright.
         let text_bad = text.replace("counters 22", "counters 21");
         assert!(matches!(
             parse_job_report(&text_bad, &sel),
             Err(ParseError::MissingCounters(21))
         ));
-        // Cross-selection parse succeeds structurally (labels align) —
-        // the counters field guards arity, the caller guards identity.
-        assert!(parse_job_report(&text, &io_sel).is_ok());
+        // Same slot count, different signals: the NAS report's SCU[2]
+        // line counts the D-cache-store signal, but the io-aware
+        // selection watches I/O-wait cycles there. The signal name on
+        // the line must be verified, not discarded.
+        let err = parse_job_report(&text, &io_sel).unwrap_err();
+        match &err {
+            ParseError::SelectionMismatch {
+                label,
+                found,
+                expected,
+            } => {
+                assert_eq!(label, "SCU[2]");
+                assert_eq!(found, Signal::DcacheStore.rs2hpm_label());
+                assert_eq!(expected, Signal::IoWaitCycles.rs2hpm_label());
+            }
+            other => panic!("expected SelectionMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("different counter selection"));
+        // A report still parses against the selection that wrote it.
+        assert!(parse_job_report(&text, &sel).is_ok());
     }
 }

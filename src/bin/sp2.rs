@@ -10,6 +10,9 @@
 //! sp2 fig5 --json                  # Figure 5 dataset as JSON on stdout
 //! sp2 calibration                  # §5 single-node anchors
 //! sp2 iowait --days 30             # the §7 io-aware extension
+//! sp2 toplev                       # top-down bottleneck tree
+//! sp2 toplev --plan-only --json    # the 28-signal counter-group schedule
+//! sp2 toplev --passes 2 --days 30  # rotate all 28 signals over 2 passes
 //! sp2 availability --faults 0.05   # fault impact vs a fault-free twin
 //! sp2 probe matmul                 # run one kernel under the HPM
 //! sp2 campaign --days 270 -j 0     # everything, in parallel, with artifacts
@@ -29,12 +32,12 @@ use sp2_repro::core::compare::compare_datasets;
 use sp2_repro::core::experiments::{all_experiments, experiment_or_err, SelectionKind};
 use sp2_repro::core::serve::{self, Client, ServeConfig, Server};
 use sp2_repro::core::{
-    archive, export, metrics, timeline, CampaignResult, Json, Sp2Error, Sp2System, Submission,
-    Tolerance,
+    archive, export, metrics, timeline, toplev, CampaignResult, Json, Sp2Error, Sp2System,
+    Submission, Tolerance,
 };
-use sp2_repro::hpm::{nas_selection, Hpm, Mode};
+use sp2_repro::hpm::{nas_selection, Hpm, Mode, SchedulePlan, Signal};
 use sp2_repro::power2::{MachineConfig, Node};
-use sp2_repro::rs2hpm::CounterSession;
+use sp2_repro::rs2hpm::{BottleneckSplit, CounterSession};
 use sp2_repro::workload::{
     blocked_matmul_kernel, cfd_kernel, naive_matmul_kernel, seqaccess_kernel, CfdKernelParams,
 };
@@ -54,6 +57,10 @@ COMMANDS:
     fig1 | fig2 | fig3 | fig4 | fig5     regenerate a figure's dataset
     calibration                          §5 single-node anchors
     iowait                               §7 io-aware counter extension
+    toplev                               top-down bottleneck accounting; with
+                                         --passes N, run a rotated campaign
+                                         that multiplexes the full 28-signal
+                                         space across daemon sweeps
     availability                         fault impact vs a fault-free twin
     summary                              headline statistics vs the paper
     probe <matmul|naive|cfd|bt|seq>      run one kernel under the HPM
@@ -115,6 +122,14 @@ OPTIONS:
                     chrome://tracing)
     --cadence N     flight-recorder sampling cadence in daemon sweeps
                     (default 1 = every simulated 15-minute sweep)
+    --plan-only     toplev: print the counter-group schedule and exit
+                    without running a campaign
+    --passes N      toplev: rotate the full 28-signal request over N
+                    lockstep passes (default: the single-pass plan over
+                    the campaign's own selection; the 28-signal space
+                    needs at least 2)
+    --live          jobs status: ask the daemon for a live snapshot too
+                    (queue depth, sweep progress, metrics when enabled)
 
 SERVICE OPTIONS (serve / submit / jobs):
     --addr HOST:PORT  daemon address (default 127.0.0.1:7598; serve
@@ -221,6 +236,12 @@ struct Args {
     rel_tol: Option<f64>,
     /// `compare --abs-tol` (None = 0).
     abs_tol: Option<f64>,
+    /// `toplev --plan-only`: print the schedule, run nothing.
+    plan_only: bool,
+    /// `toplev --passes N`: rotate the full signal space over N passes.
+    passes: Option<usize>,
+    /// `jobs status --live`: ask for the daemon's live snapshot.
+    live: bool,
 }
 
 fn available_parallelism() -> usize {
@@ -266,6 +287,9 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         archive: None,
         rel_tol: None,
         abs_tol: None,
+        plan_only: false,
+        passes: None,
+        live: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -383,6 +407,16 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             }
             "--no-wait" => args.no_wait = true,
             "--local" => args.local = true,
+            "--plan-only" => args.plan_only = true,
+            "--live" => args.live = true,
+            "--passes" => {
+                let v = argv.next().ok_or("--passes needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --passes value: {v}"))?;
+                if n == 0 {
+                    return Err("--passes must be at least 1".into());
+                }
+                args.passes = Some(n);
+            }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a FILE value")?;
                 if v.starts_with('-') {
@@ -605,6 +639,10 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<ExitCode, CliError> {
             return done;
         }
         "compare" => return cmd_compare(args),
+        "toplev" if args.plan_only => {
+            cmd_toplev_plan(args)?;
+            return done;
+        }
         _ => {}
     }
 
@@ -637,6 +675,11 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<ExitCode, CliError> {
             campaign.job_reports.len()
         );
         sys.preload_campaign(kind, campaign.faults.enabled, campaign);
+    }
+
+    if cmd == "toplev" && args.passes.is_some() {
+        cmd_toplev_rotated(args, &mut sys)?;
+        return done;
     }
 
     if cmd == "timeline" {
@@ -699,6 +742,80 @@ fn dispatch(args: &Args, engine: EngineConfig) -> Result<ExitCode, CliError> {
         print!("{}", dataset.rendered);
     }
     done
+}
+
+/// The schedule `toplev` plans over: the full 28-signal space, minimal
+/// by default, stretched when `--passes N` asks for rotation slack.
+fn toplev_plan(args: &Args) -> Result<SchedulePlan, CliError> {
+    match args.passes {
+        Some(n) => SchedulePlan::with_passes(&Signal::ALL, n)
+            .map_err(|e| CliError::Usage(format!("--passes {n}: {e}"))),
+        None => Ok(SchedulePlan::minimal(&Signal::ALL)),
+    }
+}
+
+/// `sp2 toplev --plan-only`: print the counter-group schedule for the
+/// full 28-signal space without running a campaign.
+fn cmd_toplev_plan(args: &Args) -> Result<(), CliError> {
+    let plan = toplev_plan(args)?;
+    if args.json {
+        println!(
+            "{}",
+            Json::obj()
+                .field("schema", toplev::SCHEMA)
+                .field("plan", toplev::plan_json(&plan))
+                .to_string_pretty()
+        );
+    } else {
+        print!("{}", toplev::render_plan(&plan));
+    }
+    Ok(())
+}
+
+/// `sp2 toplev --passes N`: run N lockstep campaigns rotating the full
+/// 28-signal schedule across daemon sweeps, reconstruct every signal
+/// with coverage fractions and error bounds, and render the bottleneck
+/// tree from the reconstructed totals.
+fn cmd_toplev_rotated(args: &Args, sys: &mut Sp2System) -> Result<(), CliError> {
+    let plan = toplev_plan(args)?;
+    eprintln!(
+        "running a {}-day campaign {} time(s) to rotate {} signal(s)…",
+        args.days,
+        plan.n_passes(),
+        plan.requested().len()
+    );
+    let rotated = sys.rotated_campaign(&plan)?;
+    let recon = rotated
+        .reconstruct()
+        .map_err(|e| Sp2Error::Protocol(format!("rotated reconstruction: {e}")))?;
+    let split = BottleneckSplit::from_totals(|sig| recon.total(sig))
+        .ok_or_else(|| Sp2Error::Protocol("rotated campaign measured no cycles".into()))?;
+    let tree = toplev::bottleneck_tree(&split);
+    if args.json {
+        println!(
+            "{}",
+            Json::obj()
+                .field("schema", toplev::SCHEMA)
+                .field("tree", tree.to_json())
+                .field("plan", toplev::plan_json(&plan))
+                .field("max_error", recon.max_error())
+                .field("reconstruction", toplev::reconstruction_json(&recon))
+                .to_string_pretty()
+        );
+    } else {
+        println!("Top-down bottleneck accounting (rotated, share of reconstructed cycles)");
+        print!("{}", tree.render());
+        println!();
+        print!("{}", toplev::render_plan(&plan));
+        println!();
+        print!("{}", toplev::render_reconstruction(&recon));
+        println!(
+            "rotation: max multiplexing error {:.4}, min coverage {:.0} %",
+            recon.max_error(),
+            recon.min_coverage() * 100.0
+        );
+    }
+    Ok(())
 }
 
 /// Loads `--archive` input: the campaign plus the cache key it should
@@ -953,11 +1070,13 @@ fn cmd_jobs(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "status" => {
-            let resp = client.request(
-                &Json::obj()
-                    .field("op", "status")
-                    .field("job", job_of(args)?),
-            )?;
+            let mut req = Json::obj()
+                .field("op", "status")
+                .field("job", job_of(args)?);
+            if args.live {
+                req = req.field("live", true);
+            }
+            let resp = client.request(&req)?;
             println!("{}", resp.to_string_compact());
             Ok(())
         }
@@ -1259,6 +1378,41 @@ mod tests {
         let args = parse(&["table2", "--archive", "a.sp2a"]).expect("parses");
         assert_eq!(args.archive.as_deref(), Some("a.sp2a"));
         assert!(parse(&["table2", "--archive"]).is_err());
+    }
+
+    #[test]
+    fn toplev_flags_parse() {
+        let args = parse(&["toplev", "--plan-only", "--json"]).expect("parses");
+        assert!(args.plan_only);
+        assert!(args.json);
+        assert!(args.passes.is_none());
+
+        let args = parse(&["toplev", "--passes", "3"]).expect("parses");
+        assert_eq!(args.passes, Some(3));
+        assert!(!args.plan_only);
+        assert!(parse(&["toplev", "--passes", "0"]).is_err());
+        assert!(parse(&["toplev", "--passes"]).is_err());
+        assert!(parse(&["toplev", "--passes", "x"]).is_err());
+
+        let args = parse(&["jobs", "status", "3fa2", "--live"]).expect("parses");
+        assert!(args.live);
+        assert!(!parse(&["jobs", "status", "3fa2"]).expect("parses").live);
+    }
+
+    #[test]
+    fn toplev_plan_honors_passes() {
+        // The default plan is minimal: 28 signals, FXU carries 7 → 2.
+        let plan = toplev_plan(&parse(&["toplev"]).unwrap()).expect("plans");
+        assert_eq!(plan.n_passes(), 2);
+        assert_eq!(plan.requested().len(), Signal::ALL.len());
+        // Stretching is allowed; squeezing below the minimum is a usage
+        // error, not a panic.
+        let plan = toplev_plan(&parse(&["toplev", "--passes", "4"]).unwrap()).expect("plans");
+        assert_eq!(plan.n_passes(), 4);
+        assert!(matches!(
+            toplev_plan(&parse(&["toplev", "--passes", "1"]).unwrap()),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use sp2_repro::cluster::{run_campaign, ClusterConfig, FaultPlan};
-use sp2_repro::hpm::{nas_selection, CounterDelta, EventSet, Hpm, Mode, Signal};
+use sp2_repro::hpm::{
+    nas_selection, CounterDelta, CounterSelection, EventSet, Hpm, Mode, SchedulePlan, Signal,
+    SignalGroup,
+};
 use sp2_repro::isa::{AddrGen, AddrPattern};
 use sp2_repro::power2::{Cache, CacheConfig};
 use sp2_repro::stats::{centered_moving_average, trailing_moving_average, Histogram, Summary};
@@ -137,6 +140,90 @@ proptest! {
                 prop_assert!(cache.access(a, false).hit);
             }
         }
+    }
+
+    /// The counter-group scheduler covers any request exactly: every
+    /// requested signal is watched by at least one pass, nothing else
+    /// is, and every pass is a hardware-valid selection.
+    #[test]
+    fn schedule_plan_covers_exactly_the_request(
+        wanted in prop::collection::vec(arb_signal(), 0..40),
+    ) {
+        let plan = SchedulePlan::minimal(&wanted);
+        let requested: std::collections::HashSet<Signal> = wanted.iter().copied().collect();
+        for s in Signal::ALL {
+            if requested.contains(&s) {
+                prop_assert!(plan.coverage(s) >= 1, "{s:?} uncovered");
+            } else {
+                prop_assert_eq!(plan.coverage(s), 0, "{:?} watched unrequested", s);
+            }
+        }
+        // The deduplicated request round-trips through the plan.
+        let planned: std::collections::HashSet<Signal> =
+            plan.requested().iter().copied().collect();
+        prop_assert_eq!(planned, requested);
+        for pass in plan.passes() {
+            // Re-validating each pass proves it respects every group's
+            // slot budget (CounterSelection::new rejects oversubscription).
+            let signals: Vec<Signal> = pass.signals().collect();
+            prop_assert!(CounterSelection::new(&signals).is_ok());
+        }
+    }
+
+    /// The scheduler emits exactly the minimum pass count — the largest
+    /// ⌈signals-in-group / group-slots⌉ — and the plan is a pure
+    /// function of the request.
+    #[test]
+    fn schedule_plan_is_minimal_and_deterministic(
+        wanted in prop::collection::vec(arb_signal(), 0..40),
+    ) {
+        let mut per_group = [0usize; 5];
+        let mut seen = std::collections::HashSet::new();
+        for &s in &wanted {
+            if seen.insert(s) {
+                per_group[s.group().ordinal()] += 1;
+            }
+        }
+        let minimum = per_group
+            .iter()
+            .zip(SignalGroup::ALL)
+            .map(|(n, g)| n.div_ceil(g.slots()))
+            .max()
+            .unwrap_or(0);
+        let plan = SchedulePlan::minimal(&wanted);
+        prop_assert_eq!(plan.n_passes(), minimum);
+        prop_assert_eq!(SchedulePlan::min_passes(&wanted), minimum);
+        prop_assert_eq!(&plan, &SchedulePlan::minimal(&wanted));
+        // Forcing fewer passes than the minimum is a typed error, never
+        // an invalid plan.
+        if minimum > 1 {
+            prop_assert!(SchedulePlan::with_passes(&wanted, minimum - 1).is_err());
+        }
+    }
+
+    /// Stretching a plan past its minimum keeps coverage exact (every
+    /// requested signal still watched, nothing extra) and the sweep
+    /// rotation visits every pass once per cycle.
+    #[test]
+    fn stretched_plans_keep_exact_coverage(
+        wanted in prop::collection::vec(arb_signal(), 1..40),
+        extra in 0usize..3,
+    ) {
+        let minimum = SchedulePlan::min_passes(&wanted);
+        let n = minimum + extra;
+        let plan = SchedulePlan::with_passes(&wanted, n).expect("n >= minimum");
+        prop_assert_eq!(plan.n_passes(), n);
+        for &s in plan.requested() {
+            prop_assert!(plan.coverage(s) >= 1);
+            prop_assert!(plan.coverage(s) <= n);
+        }
+        // Sweeps 1..=n rotate through every pass exactly once.
+        let mut hit = vec![false; n];
+        for sweep in 1..=n as u64 {
+            hit[plan.pass_for_sweep(sweep)] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "rotation skipped a pass");
+        prop_assert_eq!(plan.pass_for_sweep(0), 0, "sweep 0 is the baseline pass");
     }
 
     /// Address generators are deterministic and respect their windows.
